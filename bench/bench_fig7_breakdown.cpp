@@ -1,0 +1,91 @@
+// Figure 7 reproduction: area and power breakdown of MC-IPU based tiles for
+// adder-tree precisions {INT-only, 12, 16, 20, 24, 28, 38(NVDLA-like)}, for
+// both the small (8-input) and big (16-input) tiles.  Components follow the
+// paper's split: FAcc, WBuf, ShCNT (EHU), MULT, Shft, AT.
+//
+// §4.2 claims checked at the end:
+//  (1) 38b -> 28b saves ~17% area / ~15% power;
+//  (2) 38b -> 12b saves up to ~39% area;
+//  (3) MC-IPU(12) costs ~43% more area than INT-only.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/hw_model.h"
+
+namespace mpipu {
+namespace {
+
+void breakdown_table(bool big) {
+  struct Row {
+    std::string name;
+    DesignConfig design;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"INT-only", int_only_design(big)});
+  for (int w : {12, 16, 20, 24, 28}) {
+    rows.push_back({"MC-IPU(" + std::to_string(w) + ")", proposed_design(w, big ? 64 : 32, big)});
+  }
+  {
+    DesignConfig d = proposed_design(38, big ? 64 : 32, big);
+    d.tile.ipu.multi_cycle = false;
+    d.name = "38b (NVDLA-like)";
+    rows.push_back({"38b (NVDLA-like)", d});
+  }
+
+  const double base_area = tile_gates(rows.back().design).total();
+  const double base_power = tile_power(rows.back().design, true).total();
+
+  bench::section(std::string(big ? "Big tile (16,16,2,2)" : "Small tile (8,8,2,2)") +
+                 " -- AREA (fraction of tile, normalized to 38b total)");
+  bench::Table at({"design", "MULT", "WBuf", "Shft", "AT", "FAcc", "ShCNT", "total",
+                   "vs 38b"});
+  for (const auto& r : rows) {
+    const GateBreakdown g = tile_gates(r.design);
+    at.add_row({r.name, bench::fmt(g.mult / base_area, 3), bench::fmt(g.wbuf / base_area, 3),
+                bench::fmt(g.shifter / base_area, 3), bench::fmt(g.adder_tree / base_area, 3),
+                bench::fmt(g.accumulator / base_area, 3), bench::fmt(g.ehu / base_area, 3),
+                bench::fmt(g.total() / base_area, 3),
+                bench::fmt_pct(g.total() / base_area - 1.0)});
+  }
+  at.print();
+
+  bench::section(std::string(big ? "Big tile" : "Small tile") +
+                 " -- POWER (FP mode, normalized to 38b total)");
+  bench::Table pt({"design", "MULT", "WBuf", "Shft", "AT", "FAcc", "ShCNT", "total",
+                   "vs 38b"});
+  for (const auto& r : rows) {
+    const GateBreakdown p = tile_power(r.design, true);
+    pt.add_row({r.name, bench::fmt(p.mult / base_power, 3), bench::fmt(p.wbuf / base_power, 3),
+                bench::fmt(p.shifter / base_power, 3), bench::fmt(p.adder_tree / base_power, 3),
+                bench::fmt(p.accumulator / base_power, 3), bench::fmt(p.ehu / base_power, 3),
+                bench::fmt(p.total() / base_power, 3),
+                bench::fmt_pct(p.total() / base_power - 1.0)});
+  }
+  pt.print();
+}
+
+}  // namespace
+}  // namespace mpipu
+
+int main() {
+  using namespace mpipu;
+  bench::title("Figure 7: area & power breakdown of MC-IPU tiles");
+  breakdown_table(/*big=*/false);
+  breakdown_table(/*big=*/true);
+
+  bench::section("Section 4.2 claim checks (big tile)");
+  const double a38 = tile_gates(nvdla_like_design()).total();
+  const double p38 = tile_power(nvdla_like_design(), true).total();
+  const double a28 = tile_gates(proposed_design(28, 64)).total();
+  const double p28 = tile_power(proposed_design(28, 64), true).total();
+  const double a12 = tile_gates(proposed_design(12, 64)).total();
+  const double aint = tile_gates(int_only_design()).total();
+  std::printf("38b -> 28b area saving:  %5.1f%%   (paper: ~17%%)\n", 100.0 * (1.0 - a28 / a38));
+  std::printf("38b -> 28b power saving: %5.1f%%   (paper: ~15%%)\n", 100.0 * (1.0 - p28 / p38));
+  std::printf("38b -> 12b area saving:  %5.1f%%   (paper: up to 39%%)\n",
+              100.0 * (1.0 - a12 / a38));
+  std::printf("MC-IPU(12) vs INT-only:  +%4.1f%%   (paper: +43%%)\n",
+              100.0 * (a12 / aint - 1.0));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8(a) reproduction: normalized execution time of MC-IPU tiles vs
+// adder-tree precision, for ResNet-18/50 and InceptionV3 forward paths and
+// the ResNet-18 backward path, with FP32 accumulation (28b software
+// precision).  8-input tiles normalize to Baseline1, 16-input to Baseline2.
+//
+// Also reproduces the §4.3 FP16-accumulation numbers: with 16b software
+// precision, MC-IPU(12) loses ~47%/50% performance without clustering and
+// ~26%/38% with clusters of one.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/cycle_sim.h"
+
+namespace mpipu {
+namespace {
+
+double normalized_time(const Network& net, const TileConfig& tile,
+                       const TileConfig& baseline, const SimOptions& opts) {
+  return simulate_network(net, tile, opts).normalized_to(
+      simulate_network(net, baseline, opts));
+}
+
+void sweep(bool big, int software_precision, const SimOptions& opts) {
+  const auto nets = paper_study_cases();
+  const TileConfig base = big ? baseline2() : baseline1();
+  bench::section(std::string(big ? "16-input MC-IPUs (vs Baseline2)"
+                                 : "8-input MC-IPUs (vs Baseline1)") +
+                 ", software precision " + std::to_string(software_precision) + "b" +
+                 (software_precision >= 28 ? " (FP32 accumulation)" : " (FP16 accumulation)"));
+  bench::Table t({"precision", "resnet18-fwd", "resnet50-fwd", "inceptionv3-fwd",
+                  "resnet18-bwd (backward)"});
+  for (int w : {12, 14, 16, 20, 24, 28}) {
+    if (w - 9 < 1) continue;
+    std::vector<std::string> row = {std::to_string(w) + "b"};
+    for (const auto& net : nets) {
+      // No clustering (whole tile in lockstep), as in Fig. 8(a).
+      const TileConfig tile =
+          big ? big_tile(w, software_precision, 64) : small_tile(w, software_precision, 32);
+      row.push_back(bench::fmt(normalized_time(net, tile, base, opts), 2) + "x");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace mpipu
+
+int main() {
+  using namespace mpipu;
+  bench::title("Figure 8(a): normalized execution time vs MC-IPU precision");
+  SimOptions opts;
+  opts.sampled_steps = 600;
+
+  sweep(/*big=*/false, /*software_precision=*/28, opts);
+  sweep(/*big=*/true, /*software_precision=*/28, opts);
+
+  bench::title("Section 4.3: FP16 accumulation (16b software precision), MC-IPU(12)");
+  const auto nets = paper_study_cases();
+  for (bool big : {false, true}) {
+    const TileConfig base = big ? baseline2() : baseline1();
+    double no_cluster = 0.0, cluster1 = 0.0;
+    int count = 0;
+    // Forward workloads (the paper's FP16-accumulation inference numbers).
+    for (const auto& net : nets) {
+      if (net.name == "resnet18-bwd") continue;
+      const TileConfig whole = big ? big_tile(12, 16, 64) : small_tile(12, 16, 32);
+      const TileConfig solo = big ? big_tile(12, 16, 1) : small_tile(12, 16, 1);
+      no_cluster += normalized_time(net, whole, base, opts);
+      cluster1 += normalized_time(net, solo, base, opts);
+      ++count;
+    }
+    // The paper reports *performance* drops: a 47% throughput drop is a
+    // 1/(1-0.47) = 1.89x execution-time ratio.
+    std::printf("%s: MC-IPU(12) time ratio, no clustering: %.2fx -> perf drop %.0f%%  "
+                "(paper: %s drop = %.2fx)\n",
+                big ? "16-input" : "8-input", no_cluster / count,
+                100.0 * (1.0 - count / no_cluster), big ? "50%" : "47%",
+                big ? 1.0 / 0.50 : 1.0 / 0.53);
+    std::printf("%s: MC-IPU(12) time ratio, cluster of 1:  %.2fx -> perf drop %.0f%%  "
+                "(paper: %s drop = %.2fx)\n",
+                big ? "16-input" : "8-input", cluster1 / count,
+                100.0 * (1.0 - count / cluster1), big ? "38%" : "26%",
+                big ? 1.0 / 0.62 : 1.0 / 0.74);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8(b) reproduction: normalized execution time of MC-IPU(16) tiles as
+// a function of cluster size (MC-IPUs per cluster), FP32 accumulation.
+// 8-input tiles normalize to Baseline1, 16-input to Baseline2.
+//
+// Expected shape (paper): small clusters recover most of the multi-cycling
+// loss for forward workloads; 16-input tiles retain >= 12% loss even at
+// cluster size 1; the backward workload keeps >= 60% overhead at cluster 1.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/cycle_sim.h"
+
+int main() {
+  using namespace mpipu;
+  bench::title("Figure 8(b): normalized execution time vs cluster size, MC-IPU(16)");
+  SimOptions opts;
+  opts.sampled_steps = 600;
+
+  const auto nets = paper_study_cases();
+  for (bool big : {false, true}) {
+    const TileConfig base = big ? baseline2() : baseline1();
+    std::vector<NetworkSimResult> base_runs;
+    for (const auto& net : nets) base_runs.push_back(simulate_network(net, base, opts));
+
+    bench::section(big ? "16-input MC-IPU(16) (vs Baseline2)"
+                       : "8-input MC-IPU(16) (vs Baseline1)");
+    bench::Table t({"cluster size", "resnet18-fwd", "resnet50-fwd", "inceptionv3-fwd",
+                    "resnet18-bwd (backward)"});
+    const int max_cluster = big ? 64 : 32;
+    for (int cluster : {1, 2, 4, 8, 16, 32, 64}) {
+      if (cluster > max_cluster) continue;
+      std::vector<std::string> row = {std::to_string(cluster)};
+      for (size_t i = 0; i < nets.size(); ++i) {
+        const TileConfig tile =
+            big ? big_tile(16, 28, cluster) : small_tile(16, 28, cluster);
+        const auto r = simulate_network(nets[i], tile, opts);
+        row.push_back(bench::fmt(r.normalized_to(base_runs[i]), 2) + "x");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  bench::section("Claim checks");
+  {
+    SimOptions o2 = opts;
+    const auto rn18f = resnet18_forward();
+    const auto rn18b = resnet18_backward();
+    const auto b2 = simulate_network(rn18f, baseline2(), o2);
+    const auto big1 = simulate_network(rn18f, big_tile(16, 28, 1), o2);
+    std::printf("16-input, cluster 1, rn18-fwd: %.0f%% loss (paper: >= 12%%)\n",
+                100.0 * (big1.normalized_to(b2) - 1.0));
+    const auto b2b = simulate_network(rn18b, baseline2(), o2);
+    const auto big1b = simulate_network(rn18b, big_tile(16, 28, 1), o2);
+    std::printf("16-input, cluster 1, rn18-bwd: %.0f%% overhead (paper: >= 60%%)\n",
+                100.0 * (big1b.normalized_to(b2b) - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 9 reproduction: distribution of exponent differences (alignment
+// sizes, max_exp - exp) of ResNet-18 forward vs backward computations on
+// 8-input IPUs.
+//
+// Expected shape (paper): forward alignments cluster around zero with only
+// ~1% larger than eight; backward alignments are much more spread out.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/cycle_sim.h"
+
+int main() {
+  using namespace mpipu;
+  bench::title("Figure 9: exponent-difference (alignment) histograms, ResNet-18");
+
+  const auto fwd = alignment_histogram(resnet18_forward(), 8, 20000);
+  const auto bwd = alignment_histogram(resnet18_backward(), 8, 20000);
+
+  bench::Table t({"alignment", "forward fraction", "backward fraction"});
+  for (int d = 0; d <= 24; ++d) {
+    t.add_row({std::to_string(d), bench::fmt(fwd.fraction(d), 4), bench::fmt(bwd.fraction(d), 4)});
+  }
+  t.add_row({">24", bench::fmt(fwd.fraction_above(24), 4), bench::fmt(bwd.fraction_above(24), 4)});
+  t.print();
+
+  bench::section("Claim checks");
+  std::printf("forward alignments  > 8: %5.2f%%  (paper: ~1%%)\n",
+              100.0 * fwd.fraction_above(8));
+  std::printf("backward alignments > 8: %5.2f%%  (paper: much larger than forward)\n",
+              100.0 * bwd.fraction_above(8));
+  std::printf("forward alignments <= 4: %5.1f%%  (clustered near zero)\n",
+              100.0 * (1.0 - fwd.fraction_above(4)));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table 1 reproduction (§4.5 sensitivity analysis): TOPS/mm^2 and TOPS/W for
+// designs built around different multiplier precisions --
+//   MC-SER (12x1 serial), MC-IPU4 (4x4), MC-IPU84 (8x4), MC-IPU8 (8x8),
+//   NVDLA-like (8x8, 36b ADT), a typical FP16 FMA design (12x12, 36b), and
+//   INT-only INT8 / INT4 designs --
+// across operand modes A x W in {4x4, 8x4, 8x8, FP16xFP16}.
+//
+// FP16 rows use the cycle simulator's average alignment inflation for each
+// design's safe precision (forward workloads, FP32 accumulation), matching
+// the paper's use of effective throughput.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/hw_model.h"
+#include "sim/cycle_sim.h"
+
+namespace mpipu {
+namespace {
+
+/// Average FP16 cycles-per-unit inflation for a design: 1.0 when the adder
+/// tree covers the software precision, otherwise the simulated MC-IPU
+/// multi-cycle factor for its safe precision.
+double fp_inflation(const DesignConfig& d, const SimOptions& opts,
+                    std::map<int, double>& cache) {
+  if (!d.fp_support) return 1.0;
+  if (!d.tile.ipu.multi_cycle) return 1.0;
+  const int w = d.tile.ipu.adder_tree_width;
+  const auto it = cache.find(w);
+  if (it != cache.end()) return it->second;
+  double total = 0.0;
+  int count = 0;
+  for (const auto& net : paper_study_cases()) {
+    if (net.name == "resnet18-bwd") continue;
+    const auto r = simulate_network(net, big_tile(w, 28, 64), opts);
+    double sum = 0.0;
+    for (const auto& l : r.layers) sum += l.avg_iteration_cycles;
+    total += sum / static_cast<double>(r.layers.size());
+    ++count;
+  }
+  const double v = total / count;
+  cache[w] = v;
+  return v;
+}
+
+}  // namespace
+}  // namespace mpipu
+
+int main() {
+  using namespace mpipu;
+  bench::title("Table 1: TOPS/mm2 and TOPS/W across multiplier/adder-tree designs");
+  SimOptions opts;
+  opts.sampled_steps = 400;
+  std::map<int, double> inflation_cache;
+
+  const std::vector<DesignConfig> designs = {
+      mc_ser_design(),  mc_ipu4_design(),    mc_ipu84_design(), mc_ipu8_design(),
+      nvdla_table_design(), fp16_fma_design(), int8_only_design(), int4_only_design(),
+  };
+
+  bench::Table meta({"design", "MUL", "ADT", "FP16 units/MAC", "FP16 cyc/unit"});
+  for (const auto& d : designs) {
+    meta.add_row({d.name,
+                  std::to_string(d.mult_a_payload) + "x" + std::to_string(d.mult_b_payload),
+                  std::to_string(d.tile.ipu.adder_tree_width) + "b",
+                  d.fp_support ? std::to_string(d.fp16_units_per_mac) : "-",
+                  d.fp_support ? bench::fmt(fp_inflation(d, opts, inflation_cache), 2)
+                               : "-"});
+  }
+  meta.print();
+
+  struct Mode {
+    const char* name;
+    int a, w;
+    bool fp;
+  };
+  const Mode modes[] = {{"4x4", 4, 4, false},
+                        {"8x4", 8, 4, false},
+                        {"8x8", 8, 8, false},
+                        {"FP16xFP16", 0, 0, true}};
+
+  for (const char* metric : {"TOPS/mm2 (or TFLOPS/mm2)", "TOPS/W (or TFLOPS/W)"}) {
+    const bool per_area = std::string(metric).find("mm2") != std::string::npos;
+    bench::section(metric);
+    std::vector<std::string> headers = {"A x W"};
+    for (const auto& d : designs) headers.push_back(d.name);
+    bench::Table t(headers);
+    for (const auto& m : modes) {
+      std::vector<std::string> row = {m.name};
+      for (const auto& d : designs) {
+        double v;
+        if (m.fp) {
+          const double infl = fp_inflation(d, opts, inflation_cache);
+          v = per_area ? tflops_per_mm2(d, infl) : tflops_per_w(d, infl);
+        } else {
+          v = per_area ? tops_per_mm2(d, m.a, m.w) : tops_per_w(d, m.a, m.w);
+        }
+        row.push_back(v == 0.0 ? "-" : bench::fmt(v, per_area ? 1 : 2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  bench::section("Shape checks vs paper Table 1");
+  std::printf("- INT4-only leads 4x4 density; MC-IPU4 is the best FP-capable 4x4 design.\n");
+  std::printf("- Each design peaks at its native precision; wide multipliers flatten the rows.\n");
+  std::printf("- FP16 row favors wide-multiplier designs (MC-IPU8 / NVDLA / FP16 FMA).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared formatting helpers for the paper-reproduction benchmark harnesses.
+// Each bench binary regenerates one table/figure of the paper and prints it
+// as an aligned text table (plus CSV-ish rows easy to plot).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpipu::bench {
+
+inline void title(const std::string& t) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", t.c_str());
+  std::printf("================================================================================\n");
+}
+
+inline void section(const std::string& t) { std::printf("\n--- %s ---\n", t.c_str()); }
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (size_t c = 0; c < r.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(width[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, 100.0 * v);
+  return buf;
+}
+
+}  // namespace mpipu::bench

@@ -1,0 +1,92 @@
+// Design-space exploration (paper §4.4): sweep adder-tree precision and
+// cluster size, score each design on INT4 and FP16 area/power efficiency
+// under a user-selectable INT/FP workload mix, and print the Pareto set.
+//
+//   ./examples/design_space_explorer [fp_fraction]
+//     fp_fraction: fraction of deployed work that is FP16 (default 0.25)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "model/hw_model.h"
+#include "sim/cycle_sim.h"
+
+using namespace mpipu;
+
+namespace {
+
+struct Candidate {
+  int w = 0, cluster = 0;
+  double tops_mm2 = 0.0, tflops_mm2 = 0.0, tops_w = 0.0, tflops_w = 0.0;
+  double blended_per_mm2 = 0.0;  // workload-weighted throughput density
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double fp_fraction = argc > 1 ? std::atof(argv[1]) : 0.25;
+  std::printf("== IPU design-space explorer (FP16 share of work: %.0f%%) ==\n\n",
+              100.0 * fp_fraction);
+
+  SimOptions opts;
+  opts.sampled_steps = 300;
+  const Network net = resnet18_forward();
+  const TileConfig base_tile = baseline2();
+  const auto base_run = simulate_network(net, base_tile, opts);
+
+  std::vector<Candidate> cands;
+  for (int w : {12, 14, 16, 20, 24, 28, 38}) {
+    for (int cluster : {1, 2, 4, 16, 64}) {
+      DesignConfig d = proposed_design(w, cluster, /*big=*/true);
+      if (w >= 38) d.tile.ipu.multi_cycle = false;
+      const auto run = simulate_network(net, d.tile, opts);
+      const double slowdown = run.normalized_to(base_run);
+      Candidate c;
+      c.w = w;
+      c.cluster = cluster;
+      c.tops_mm2 = tops_per_mm2(d, 4, 4);
+      c.tops_w = tops_per_w(d, 4, 4);
+      c.tflops_mm2 = tflops_per_mm2(d, slowdown);
+      c.tflops_w = tflops_per_w(d, slowdown);
+      // Blend: harmonic-style weighting of INT and FP density.
+      c.blended_per_mm2 =
+          (1.0 - fp_fraction) * c.tops_mm2 + fp_fraction * 9.0 * c.tflops_mm2;
+      cands.push_back(c);
+    }
+  }
+
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.blended_per_mm2 > b.blended_per_mm2;
+            });
+
+  std::printf("%-14s %12s %14s %10s %12s %14s\n", "design (w,c)", "TOPS/mm2",
+              "TFLOPS/mm2", "TOPS/W", "TFLOPS/W", "blended/mm2");
+  for (size_t i = 0; i < cands.size() && i < 12; ++i) {
+    const auto& c = cands[i];
+    std::printf("(%2d,%2d)%7s %12.1f %14.2f %10.2f %12.3f %14.1f\n", c.w, c.cluster, "",
+                c.tops_mm2, c.tflops_mm2, c.tops_w, c.tflops_w, c.blended_per_mm2);
+  }
+
+  // Pareto front on (TOPS/mm2, TFLOPS/mm2).
+  std::printf("\nPareto-optimal designs (TOPS/mm2 vs TFLOPS/mm2):\n");
+  for (const auto& c : cands) {
+    bool dominated = false;
+    for (const auto& o : cands) {
+      if (o.tops_mm2 >= c.tops_mm2 && o.tflops_mm2 >= c.tflops_mm2 &&
+          (o.tops_mm2 > c.tops_mm2 || o.tflops_mm2 > c.tflops_mm2)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      std::printf("  (w=%2d, cluster=%2d): %.1f TOPS/mm2, %.2f TFLOPS/mm2\n", c.w,
+                  c.cluster, c.tops_mm2, c.tflops_mm2);
+    }
+  }
+  std::printf("\nPick narrow trees + small clusters for INT-heavy fleets, wider trees\n");
+  std::printf("when FP16 dominates -- the paper's (12,1)/(16,1) Pareto points.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "analysis/error_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mpipu {
+
+double absolute_error(const FixedPoint& approx, const FixedPoint& exact) {
+  return std::fabs((approx - exact).to_double_value());
+}
+
+double absolute_relative_error_pct(const FixedPoint& approx, const FixedPoint& exact) {
+  const double err = absolute_error(approx, exact);
+  const double ref = std::fabs(exact.to_double_value());
+  if (ref == 0.0) return err == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return 100.0 * err / ref;
+}
+
+int contaminated_bits(uint32_t approx_bits, uint32_t exact_bits, FpFormat fmt) {
+  if (approx_bits == exact_bits) return 0;
+  // Interpret encodings on the monotone integer line: for a sign-magnitude
+  // FP format, value order matches (sign ? -mag : mag) of the raw encoding
+  // without the sign bit.  The ULP distance between the two encodings then
+  // counts how many low-order representable steps separate them.
+  const auto mag_bits = static_cast<int64_t>(1) << (fmt.total_bits() - 1);
+  auto line = [&](uint32_t raw) {
+    const int64_t mag = static_cast<int64_t>(raw) & (mag_bits - 1);
+    return (static_cast<int64_t>(raw) & mag_bits) ? -mag : mag;
+  };
+  const int64_t dist = std::llabs(line(approx_bits) - line(exact_bits));
+  // Number of bits needed to express the ULP distance == number of
+  // low-order bits of the result that differ from the exact computation.
+  int bits = 0;
+  for (int64_t d = dist; d != 0; d >>= 1) ++bits;
+  return bits;
+}
+
+double theorem1_iteration_bound(int i, int j, int n, int precision, int max_exp) {
+  assert(n >= 1);
+  if (n == 1) return 0.0;
+  return 225.0 * std::exp2(4.0 * (i + j) - 22.0) * std::exp2(max_exp - precision) *
+         (n - 1);
+}
+
+double theorem1_operation_bound(int n, int precision, int max_exp,
+                                int nibbles_per_operand) {
+  double total = 0.0;
+  for (int i = 0; i < nibbles_per_operand; ++i) {
+    for (int j = 0; j < nibbles_per_operand; ++j) {
+      total += theorem1_iteration_bound(i, j, n, precision, max_exp);
+    }
+  }
+  return total;
+}
+
+double window_truncation_iteration_bound(int i, int j, int n, int w, int max_exp) {
+  assert(n >= 1);
+  if (n == 1) return 0.0;
+  return std::exp2(4.0 * (i + j) - 22.0 + 10.0) * std::exp2(max_exp - w) * (n - 1);
+}
+
+double window_truncation_operation_bound(int n, int w, int max_exp,
+                                         int nibbles_per_operand) {
+  double total = 0.0;
+  for (int i = 0; i < nibbles_per_operand; ++i) {
+    for (int j = 0; j < nibbles_per_operand; ++j) {
+      total += window_truncation_iteration_bound(i, j, n, w, max_exp);
+    }
+  }
+  return total;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (hi + v[mid - 1]);
+}
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+void IntHistogram::add(int v) {
+  assert(v >= 0);
+  const size_t bin = std::min(static_cast<size_t>(v), counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+double IntHistogram::fraction(int v) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(v)) / static_cast<double>(total_);
+}
+
+double IntHistogram::fraction_above(int v) const {
+  if (total_ == 0) return 0.0;
+  int64_t above = 0;
+  for (size_t i = static_cast<size_t>(v) + 1; i < counts_.size(); ++i) above += counts_[i];
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+int64_t IntHistogram::count(int v) const {
+  assert(v >= 0);
+  const size_t bin = std::min(static_cast<size_t>(v), counts_.size() - 1);
+  return counts_[bin];
+}
+
+}  // namespace mpipu

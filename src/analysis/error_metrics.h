@@ -1,0 +1,86 @@
+// Numerical-analysis metrics for the approximate FP-IP study (paper §3.1).
+//
+// The paper evaluates approximate FP-IP against "FP32 CPU" results with
+// three metrics, all reported as medians over many sampled inner products:
+//   * absolute error            |approx - exact|
+//   * absolute relative error   |approx - exact| / |exact|  (in percent)
+//   * contaminated bits         number of differing low-order bits between
+//                               the approximate result and the exact result,
+//                               both rounded to the destination format.
+//
+// It also states Theorem 1, an analytical bound on the absolute error of a
+// single approximate nibble iteration, and sums it over iterations for a
+// full-operation bound; `theorem1_*` implement those bounds so tests can
+// assert the measured error never exceeds them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+/// |approx - exact| as a double (analysis only).
+double absolute_error(const FixedPoint& approx, const FixedPoint& exact);
+
+/// |approx - exact| / |exact| in percent; returns 0 when both are zero and
+/// +inf when only `exact` is zero.
+double absolute_relative_error_pct(const FixedPoint& approx, const FixedPoint& exact);
+
+/// Number of contaminated bits between two encodings of the same FP format:
+/// 0 if identical; otherwise 1 + floor(log2 |a - b|) of the *encoding*
+/// distance in ULPs of the smaller-exponent operand -- i.e. how many
+/// low-order result bits cannot be trusted.
+int contaminated_bits(uint32_t approx_bits, uint32_t exact_bits, FpFormat fmt);
+
+/// Theorem 1: bound on the absolute error contributed by the approximate
+/// nibble iteration (i, j) of an n-input FP16 FP-IP with the given IPU
+/// precision and maximum product exponent:
+///     225 * 2^(4(i+j) - 22) * 2^(max_exp - precision) * (n - 1).
+double theorem1_iteration_bound(int i, int j, int n, int precision, int max_exp);
+
+/// Sum of the iteration bounds over all Ka x Kb iterations: a (loose) bound
+/// on the absolute error of a whole approximate FP-IP operation.
+double theorem1_operation_bound(int n, int precision, int max_exp,
+                                int nibbles_per_operand = 3);
+
+/// Rigorous truncation bound for the implemented w-bit-window datapath:
+/// every non-masked product's floor truncation loses strictly less than one
+/// window ULP, 2^(4(i+j) - 22 + 10 + max_exp - w), and a masked product
+/// loses at most its own magnitude (smaller).  Theorem 1's published
+/// constant (225 = a full lane product) covers fully-shifted-out products
+/// but is up to 2^10/225 ~ 4.6x tighter than the worst-case partial
+/// truncation, so tests check against this sound bound and report the
+/// paper's bound alongside.
+double window_truncation_iteration_bound(int i, int j, int n, int w, int max_exp);
+double window_truncation_operation_bound(int n, int w, int max_exp,
+                                         int nibbles_per_operand = 3);
+
+/// Order statistics helpers used by the Fig. 3 harness.
+double median(std::vector<double> v);   // by value: sorts a copy
+double mean(std::span<const double> v);
+double percentile(std::vector<double> v, double p);  // p in [0,100]
+
+/// Simple fixed-bin integer histogram (used for Fig. 9).
+class IntHistogram {
+ public:
+  explicit IntHistogram(int max_value) : counts_(static_cast<size_t>(max_value) + 2, 0) {}
+
+  void add(int v);
+  int64_t total() const { return total_; }
+  /// Fraction of samples with value == v (last bin aggregates overflow).
+  double fraction(int v) const;
+  /// Fraction of samples with value > v.
+  double fraction_above(int v) const;
+  int max_bin() const { return static_cast<int>(counts_.size()) - 2; }
+  int64_t count(int v) const;
+
+ private:
+  std::vector<int64_t> counts_;  // [0..max] plus one overflow bin
+  int64_t total_ = 0;
+};
+
+}  // namespace mpipu

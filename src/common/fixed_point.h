@@ -1,0 +1,89 @@
+// A small signed fixed-point value type used by the exact FP-IP reference
+// model and by the accumulator emulation.
+//
+// Values are (mantissa, lsb_exponent): value = mantissa * 2^lsb_exp.
+// All arithmetic is exact unless an explicit truncating operation is called,
+// mirroring how the datapath only loses bits at architecturally defined
+// truncation points.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace mpipu {
+
+class FixedPoint {
+ public:
+  constexpr FixedPoint() = default;
+  constexpr FixedPoint(int128 mantissa, int lsb_exp) : m_(mantissa), e_(lsb_exp) {}
+
+  constexpr int128 mantissa() const { return m_; }
+  constexpr int lsb_exp() const { return e_; }
+  constexpr bool is_zero() const { return m_ == 0; }
+
+  /// Canonical form: strip trailing zero bits from the mantissa (raises the
+  /// LSB exponent).  Keeps intermediate widths minimal so exact sums of
+  /// values with wildly different scales still fit 128 bits.
+  constexpr FixedPoint normalized() const {
+    if (m_ == 0) return {0, 0};
+    int128 m = m_;
+    int e = e_;
+    while ((m & 1) == 0) {
+      m >>= 1;
+      ++e;
+    }
+    return {m, e};
+  }
+
+  /// Exact re-expression with a lower LSB exponent (left shift of mantissa).
+  constexpr FixedPoint with_lsb(int new_lsb) const {
+    if (m_ == 0) return {0, new_lsb};
+    assert(new_lsb <= e_);
+    const int shift = e_ - new_lsb;
+    assert(magnitude_bits(m_) + shift <= 126);
+    return {shl(m_, shift), new_lsb};
+  }
+
+  /// Truncating re-expression with a higher LSB exponent: bits below the new
+  /// LSB are discarded (arithmetic shift right, floors toward -inf).
+  constexpr FixedPoint truncated_to_lsb(int new_lsb) const {
+    if (new_lsb <= e_) return with_lsb(new_lsb);
+    return {asr(m_, new_lsb - e_), new_lsb};
+  }
+
+  /// Exact addition; operands are normalized first so the aligned mantissas
+  /// stay as narrow as possible.
+  friend constexpr FixedPoint operator+(const FixedPoint& a, const FixedPoint& b) {
+    const FixedPoint an = a.normalized(), bn = b.normalized();
+    if (an.m_ == 0) return bn;
+    if (bn.m_ == 0) return an;
+    const int lsb = std::min(an.e_, bn.e_);
+    return {an.with_lsb(lsb).m_ + bn.with_lsb(lsb).m_, lsb};
+  }
+
+  friend constexpr FixedPoint operator-(const FixedPoint& a, const FixedPoint& b) {
+    return a + FixedPoint(-b.m_, b.e_);
+  }
+
+  friend constexpr bool operator==(const FixedPoint& a, const FixedPoint& b) {
+    const FixedPoint an = a.normalized(), bn = b.normalized();
+    return an.m_ == bn.m_ && (an.m_ == 0 || an.e_ == bn.e_);
+  }
+
+  /// Exact conversion to double when representable; used by analysis only.
+  double to_double_value() const {
+    double d = to_double(m_);
+    int e = e_;
+    while (e > 0) { d *= 2.0; --e; }
+    while (e < 0) { d *= 0.5; ++e; }
+    return d;
+  }
+
+ private:
+  int128 m_ = 0;
+  int e_ = 0;
+};
+
+}  // namespace mpipu

@@ -1,0 +1,57 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// A thin wrapper over std::mt19937_64 so every experiment in the repo is
+// reproducible from a single seed, plus the distribution families the paper
+// uses for its numerical analysis (Laplace, Normal, Uniform) and a log-scale
+// "wide dynamic range" family used to emulate backward-pass tensors.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace mpipu {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed1234ULL) : gen_(seed) {}
+
+  uint64_t next_u64() { return gen_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Laplace(mu, b) via inverse CDF.
+  double laplace(double mu, double b) {
+    const double u = uniform(-0.5, 0.5);
+    return mu - b * std::copysign(1.0, u) * std::log1p(-2.0 * std::fabs(u));
+  }
+
+  /// Sign-symmetric log-uniform magnitude: |x| = 2^U(e_lo, e_hi).  Produces
+  /// the wide exponent spread characteristic of back-propagated gradients
+  /// (paper Fig. 9(b)).
+  double log_uniform_signed(double e_lo, double e_hi) {
+    const double mag = std::exp2(uniform(e_lo, e_hi));
+    return (gen_() & 1) ? mag : -mag;
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace mpipu

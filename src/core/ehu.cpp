@@ -1,0 +1,57 @@
+#include "core/ehu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpipu {
+
+EhuResult run_ehu(std::span<const Decoded> a, std::span<const Decoded> b,
+                  const EhuOptions& opts) {
+  assert(a.size() == b.size());
+  assert(opts.safe_precision >= 1);
+  const size_t n = a.size();
+
+  EhuResult r;
+  r.product_exp.resize(n);
+  r.align.resize(n);
+  r.masked.assign(n, false);
+  r.band.assign(n, -1);
+
+  // Stage 1: elementwise exponent sums.
+  for (size_t k = 0; k < n; ++k) r.product_exp[k] = a[k].exp + b[k].exp;
+
+  // Stage 2: maximum product exponent.
+  r.max_exp = *std::max_element(r.product_exp.begin(), r.product_exp.end());
+
+  // Stage 3 + 4: alignments and software-precision masking.
+  for (size_t k = 0; k < n; ++k) {
+    r.align[k] = r.max_exp - r.product_exp[k];
+    r.masked[k] = r.align[k] > opts.software_precision;
+  }
+
+  // Stage 5: serve loop.  Band c serves alignments in [c*sp, (c+1)*sp).
+  int max_band = 0;
+  std::vector<bool> band_used;
+  for (size_t k = 0; k < n; ++k) {
+    if (r.masked[k]) continue;
+    const int c = r.align[k] / opts.safe_precision;
+    r.band[k] = c;
+    max_band = std::max(max_band, c);
+    if (static_cast<size_t>(c) >= band_used.size()) band_used.resize(static_cast<size_t>(c) + 1, false);
+    band_used[static_cast<size_t>(c)] = true;
+  }
+  r.mc_cycles = max_band + 1;
+  r.mc_cycles_skip_empty =
+      static_cast<int>(std::count(band_used.begin(), band_used.end(), true));
+  if (r.mc_cycles_skip_empty == 0) r.mc_cycles_skip_empty = 1;  // all masked
+  return r;
+}
+
+std::vector<int> product_alignments(std::span<const Decoded> a, std::span<const Decoded> b) {
+  EhuOptions opts;
+  opts.software_precision = 1 << 20;  // no masking
+  opts.safe_precision = 1 << 20;
+  return run_ehu(a, b, opts).align;
+}
+
+}  // namespace mpipu

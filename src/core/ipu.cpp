@@ -1,0 +1,134 @@
+#include "core/ipu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpipu {
+
+Ipu::Ipu(const IpuConfig& cfg) : cfg_(cfg), acc_(cfg.accumulator) {
+  assert(cfg_.n_inputs >= 1);
+  assert(cfg_.adder_tree_width >= 2);
+  // MC mode needs a positive safe precision (w >= 10); narrower windows can
+  // only run single-cycle (they truncate even unshifted products).
+  assert(!cfg_.multi_cycle || cfg_.safe_precision() >= 1);
+}
+
+void Ipu::reset_accumulator() {
+  acc_.reset();
+  int_acc_ = 0;
+}
+
+int Ipu::run_fp_iteration(std::span<const NibbleOperand> na,
+                          std::span<const NibbleOperand> nb, int i, int j,
+                          const EhuResult& ehu, int scale_bias) {
+  const size_t n = na.size();
+  const int w = cfg_.adder_tree_width;
+  const int guard = cfg_.window_guard();  // w - 10
+  const int sp = cfg_.safe_precision();   // w - 9
+
+  // The iteration's contribution has lane-weight 2^(wi + wj) relative to the
+  // signed-magnitude product, and the product pair with max_exp carries
+  // value sm_a*sm_b * 2^(max_exp - 2*man_bits).
+  const int wi = na[0].weight_exp[static_cast<size_t>(i)];
+  const int wj = nb[0].weight_exp[static_cast<size_t>(j)];
+
+  // The accumulator convention is value = mantissa * 2^(in_exp - frac_bits);
+  // we report in_exp = max_exp so acc_exp tracks the paper's "accumulator
+  // exponent".  The adder-tree output S (window-scaled by 2^-guard) then
+  // needs a fixed re-scale of wi + wj - 2*man_bits - guard + frac_bits,
+  // minus the band-base shift c*sp in MC mode.  Left re-scales are exact
+  // (zero fill); right re-scales truncate -- the accumulator-input shifter.
+  const int base_rescale =
+      wi + wj - scale_bias - guard + acc_.config().frac_bits;
+
+  const bool single_cycle = !cfg_.multi_cycle;
+  const int bands = single_cycle ? 1 : ehu.mc_cycles;
+
+  for (int c = 0; c < bands; ++c) {
+    int128 tree_sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu.masked[k]) continue;
+      if (!single_cycle && ehu.band[k] != c) continue;
+      const int32_t p = multiply_lane(na[k].v[static_cast<size_t>(i)],
+                                      nb[k].v[static_cast<size_t>(j)]);
+      // Local right shift within the w-bit window: full alignment in
+      // single-cycle mode, band-relative remainder in MC mode.  Bits pushed
+      // below the window LSB are truncated (arithmetic shift).
+      const int local_shift =
+          single_cycle ? std::min(ehu.align[k], w) : ehu.align[k] - c * sp;
+      assert(local_shift >= 0);
+      assert(single_cycle || local_shift < sp);  // Proposition 1 in MC mode.
+      // Place the product at the top of the w-bit window (guard may be
+      // negative for w < 10: even unshifted products then lose low bits).
+      const int net_shift = guard - local_shift;
+      tree_sum += net_shift >= 0 ? shl(p, net_shift) : asr(p, -net_shift);
+    }
+    const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+    const int128 mantissa =
+        rescale >= 0 ? shl(tree_sum, rescale) : asr(tree_sum, -rescale);
+    acc_.add(mantissa, ehu.max_exp);
+  }
+
+  // Cycle accounting: the paper's serve loop burns a cycle per alignment
+  // band; the skip-empty ablation (a smarter EHU) only pays for occupied
+  // bands.  Band occupancy is an EHU-level notion (exponent based), so a
+  // band of all-zero magnitudes still costs its cycle in both modes.
+  const int cycles_used = single_cycle
+                              ? 1
+                              : (cfg_.skip_empty_bands ? ehu.mc_cycles_skip_empty
+                                                       : ehu.mc_cycles);
+  if (cycles_used > 1) ++stats_.multi_cycle_iterations;
+  return cycles_used;
+}
+
+int Ipu::int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
+                        int a_bits, int b_bits, bool a_unsigned, bool b_unsigned) {
+  assert(a.size() == b.size());
+  assert(static_cast<int>(a.size()) <= cfg_.n_inputs);
+  const size_t n = a.size();
+
+  nib_a_.resize(n);
+  nib_b_.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    nib_a_[k] = a_unsigned ? decompose_int_unsigned(a[k], a_bits)
+                           : decompose_int(a[k], a_bits);
+    nib_b_[k] = b_unsigned ? decompose_int_unsigned(b[k], b_bits)
+                           : decompose_int(b[k], b_bits);
+  }
+  const int ka = int_nibble_count(a_bits);
+  const int kb = int_nibble_count(b_bits);
+
+  // INT mode: zero local shift, exact adder tree, significance shift of
+  // 4*(i+j) applied at the accumulator (always a left placement into the
+  // wide register, so no bits are ever lost).
+  int cycles = 0;
+  for (int i = 0; i < ka; ++i) {
+    for (int j = 0; j < kb; ++j) {
+      if (cfg_.skip_zero_iterations) {
+        bool all_zero = true;
+        for (size_t k = 0; k < n && all_zero; ++k) {
+          all_zero = nib_a_[k].v[static_cast<size_t>(i)] == 0 ||
+                     nib_b_[k].v[static_cast<size_t>(j)] == 0;
+        }
+        if (all_zero) {
+          ++stats_.skipped_iterations;
+          continue;
+        }
+      }
+      int64_t tree_sum = 0;
+      for (size_t k = 0; k < n; ++k) {
+        tree_sum += multiply_lane(nib_a_[k].v[static_cast<size_t>(i)],
+                                  nib_b_[k].v[static_cast<size_t>(j)]);
+      }
+      int_acc_ += tree_sum << (4 * (i + j));
+      ++cycles;
+    }
+  }
+
+  ++stats_.int_ops;
+  stats_.nibble_iterations += ka * kb;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
+}  // namespace mpipu

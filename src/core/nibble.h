@@ -1,0 +1,135 @@
+// Nibble (temporal) decomposition of operands onto 5b x 5b signed multipliers.
+//
+// The IPU's only multiplier is a 5-bit signed x 5-bit signed unit (paper
+// Fig. 1).  Wider operands are decomposed into 4-bit "nibbles" (each carried
+// in a 5-bit signed lane) and realized over Ka*Kb nibble iterations:
+//
+//  * Integers use a signed radix-16 decomposition: the most significant
+//    nibble is signed in [-8,7], all lower nibbles are unsigned in [0,15];
+//    every digit fits the 5-bit signed lane.  value = sum(n_k * 16^k).
+//
+//  * Floating point uses the paper's signed-magnitude decomposition
+//    (Section 2.2, "Converting numbers").  For FP16 the 11-bit magnitude
+//    {1|0}.mantissa maps to three 5-bit lanes
+//        N2 = m[10:7] (with the sign applied),
+//        N1 = m[6:3],
+//        N0 = m[2:0] << 1,
+//    so  magnitude = N2*2^7 + N1*2^3 + N0*2^-1.  The trailing zero injected
+//    into N0 ("implicit left shift") preserves one extra bit through the
+//    right-shift-and-truncate alignment path.  The same scheme generalizes
+//    to any format: pad the magnitude on the right with z zeros so that
+//    sig_bits + z is a multiple of 4; lane k then has weight 2^(4k - z).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+#include "common/bits.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+/// Maximum number of 5-bit lanes an operand can decompose into
+/// (INT16 -> 4 lanes; FP formats here need at most 3).
+inline constexpr int kMaxNibbles = 8;
+
+/// A decomposed operand: `count` signed lane values v[k], each in [-15,15],
+/// with lane k carrying weight 2^weight_exp[k], such that
+///   original signed value = sum_k v[k] * 2^weight_exp[k].
+struct NibbleOperand {
+  int count = 0;
+  std::array<int8_t, kMaxNibbles> v{};
+  std::array<int8_t, kMaxNibbles> weight_exp{};
+
+  /// Recompose (for checking); exact.
+  constexpr int64_t recompose_scaled(int scale_up) const {
+    // Returns value * 2^scale_up; scale_up must clear negative weights.
+    int64_t acc = 0;
+    for (int k = 0; k < count; ++k) {
+      const int e = weight_exp[k] + scale_up;
+      assert(e >= 0 && e < 60);
+      acc += static_cast<int64_t>(v[k]) << e;
+    }
+    return acc;
+  }
+};
+
+/// Number of nibble lanes for an integer of `bit_width` bits.
+constexpr int int_nibble_count(int bit_width) {
+  assert(bit_width >= 1 && bit_width <= 4 * kMaxNibbles);
+  return (bit_width + 3) / 4;
+}
+
+/// Signed radix-16 decomposition of a two's-complement integer.
+/// `bit_width` in [2, 32]; value must fit.  For unsigned operands pass the
+/// zero-extended value with bit_width+1 (the paper's IPU handles signed and
+/// unsigned INT4 alike because a 5-bit signed lane covers [0,15]).
+constexpr NibbleOperand decompose_int(int64_t value, int bit_width) {
+  assert(fits_signed(value, bit_width));
+  NibbleOperand out;
+  out.count = int_nibble_count(bit_width);
+  int64_t rest = value;
+  for (int k = 0; k < out.count; ++k) {
+    if (k + 1 < out.count) {
+      const int64_t digit = rest & 0xF;  // unsigned low digit
+      out.v[static_cast<size_t>(k)] = static_cast<int8_t>(digit);
+      rest >>= 4;
+    } else {
+      assert(rest >= -8 && rest <= 7);
+      out.v[static_cast<size_t>(k)] = static_cast<int8_t>(rest);
+    }
+    out.weight_exp[static_cast<size_t>(k)] = static_cast<int8_t>(4 * k);
+  }
+  return out;
+}
+
+/// Unsigned radix-16 decomposition: every digit is unsigned in [0,15] and
+/// still fits the 5-bit signed lane, which is how the paper's IPU computes
+/// unsigned INT4/INT8 "in a single cycle" per digit pair.
+constexpr NibbleOperand decompose_int_unsigned(int64_t value, int bit_width) {
+  assert(value >= 0 && (value >> bit_width) == 0);
+  NibbleOperand out;
+  out.count = int_nibble_count(bit_width);
+  for (int k = 0; k < out.count; ++k) {
+    out.v[static_cast<size_t>(k)] = static_cast<int8_t>((value >> (4 * k)) & 0xF);
+    out.weight_exp[static_cast<size_t>(k)] = static_cast<int8_t>(4 * k);
+  }
+  return out;
+}
+
+/// Number of nibble lanes for an FP format's signed magnitude.
+constexpr int fp_nibble_count(FpFormat f) { return (f.sig_bits() + 3) / 4; }
+
+/// Right-pad amount z so sig_bits + z is a multiple of 4 (the "implicit
+/// left shift" of the least significant lane).
+constexpr int fp_pad_bits(FpFormat f) { return 4 * fp_nibble_count(f) - f.sig_bits(); }
+
+/// Paper-style signed-magnitude decomposition of a decoded FP value.
+/// Lane k holds sign-applied magnitude bits with weight 2^(4k - z), so that
+///   signed_magnitude = sum_k v[k] * 2^(4k - z).
+template <FpFormat F>
+constexpr NibbleOperand decompose_fp(const Decoded& d) {
+  NibbleOperand out;
+  out.count = fp_nibble_count(F);
+  const int z = fp_pad_bits(F);
+  const uint32_t padded = static_cast<uint32_t>(d.magnitude) << z;
+  for (int k = 0; k < out.count; ++k) {
+    const auto nib = static_cast<int8_t>((padded >> (4 * k)) & 0xF);
+    out.v[static_cast<size_t>(k)] = d.sign ? static_cast<int8_t>(-nib) : nib;
+    out.weight_exp[static_cast<size_t>(k)] = static_cast<int8_t>(4 * k - z);
+  }
+  return out;
+}
+
+/// The 5x5 signed multiplier: lanes are in [-15,15] so the product is in
+/// [-225,225] and always fits the 9-bit signed multiplier output.
+constexpr int32_t multiply_lane(int8_t a, int8_t b) {
+  assert(a >= -15 && a <= 15 && b >= -15 && b <= 15);
+  return static_cast<int32_t>(a) * static_cast<int32_t>(b);
+}
+
+/// Magnitude bound of a lane product (used by Theorem 1): 15*15.
+inline constexpr int32_t kMaxLaneProduct = 225;
+
+}  // namespace mpipu

@@ -1,0 +1,16 @@
+#include "core/reference.h"
+
+#include <cassert>
+
+namespace mpipu {
+
+int64_t exact_int_inner_product(std::span<const int32_t> a, std::span<const int32_t> b) {
+  assert(a.size() == b.size());
+  int64_t acc = 0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    acc += static_cast<int64_t>(a[k]) * static_cast<int64_t>(b[k]);
+  }
+  return acc;
+}
+
+}  // namespace mpipu

@@ -1,0 +1,45 @@
+// Exact (bit-true, lossless) reference models -- paper Fig. 12 pseudocode.
+//
+// The exact FP inner product aligns every product to the maximum exponent
+// with full width (the worst case for FP16 is 58 bits of alignment plus a
+// 22-bit product, i.e. an 80-bit adder) and only rounds once, at the very
+// end, to the destination format.  It is the golden model every approximate
+// datapath in this repo is validated against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/fixed_point.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+/// Exact sum of products of two finite FP vectors as a FixedPoint.
+template <FpFormat F>
+FixedPoint exact_fp_inner_product(std::span<const Soft<F>> a, std::span<const Soft<F>> b) {
+  assert(a.size() == b.size());
+  FixedPoint acc(0, 0);
+  for (size_t k = 0; k < a.size(); ++k) {
+    const Decoded da = a[k].decode();
+    const Decoded db = b[k].decode();
+    const int128 prod =
+        static_cast<int128>(da.signed_magnitude()) * static_cast<int128>(db.signed_magnitude());
+    // value = prod * 2^(Ea + Eb - 2*man_bits)
+    acc = acc + FixedPoint(prod, da.exp + db.exp - 2 * F.man_bits);
+  }
+  return acc;
+}
+
+/// Exact FP-IP rounded once (RNE) to the destination format, emulating an
+/// FP32-CPU-style computation (paper's comparison baseline).
+template <FpFormat In, FpFormat Out>
+Soft<Out> exact_fp_inner_product_rounded(std::span<const Soft<In>> a,
+                                         std::span<const Soft<In>> b) {
+  return Soft<Out>::round_from_fixed(exact_fp_inner_product<In>(a, b));
+}
+
+/// Exact integer inner product (reference for INT mode).
+int64_t exact_int_inner_product(std::span<const int32_t> a, std::span<const int32_t> b);
+
+}  // namespace mpipu

@@ -1,0 +1,100 @@
+#include "core/serial_ipu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpipu {
+
+SerialIpu::SerialIpu(const SerialIpuConfig& cfg) : cfg_(cfg), acc_(cfg.accumulator) {
+  assert(cfg_.n_inputs >= 1);
+  assert(cfg_.adder_tree_width >= 13 || !cfg_.multi_cycle);
+  assert(!cfg_.multi_cycle || cfg_.safe_precision() >= 1);
+}
+
+void SerialIpu::reset_accumulator() {
+  acc_.reset();
+  int_acc_ = 0;
+}
+
+int SerialIpu::fp_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) {
+  assert(a.size() == b.size());
+  assert(static_cast<int>(a.size()) <= cfg_.n_inputs);
+  const size_t n = a.size();
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kSteps = 12;  // 11 magnitude bits + 1 pad (implicit shift)
+
+  std::vector<Decoded> da(n), db(n);
+  for (size_t k = 0; k < n; ++k) {
+    da[k] = a[k].decode();
+    db[k] = b[k].decode();
+  }
+
+  EhuOptions eopts;
+  eopts.software_precision = cfg_.software_precision;
+  eopts.safe_precision = std::max(cfg_.safe_precision(), 1);
+  const EhuResult ehu = run_ehu(da, db, eopts);
+
+  const int w = cfg_.adder_tree_width;
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+  const bool single_cycle = !cfg_.multi_cycle;
+  const int bands = single_cycle ? 1 : ehu.mc_cycles;
+
+  // Weight magnitude padded left by one (same trick as the nibble IPU's N0
+  // trailing zero): bit t of (mag << 1) carries weight 2^(t - 1).
+  for (int t = 0; t < kSteps; ++t) {
+    // value(step) = sum_k sm_a[k] * bit_t(mag_b[k]<<1) * sgn_b * 2^(t-1)
+    //               * 2^(E_k - 2*man_bits)  aligned to max_exp.
+    const int base_rescale =
+        (t - 1) - 2 * F.man_bits - guard + acc_.config().frac_bits;
+    for (int c = 0; c < bands; ++c) {
+      int128 tree_sum = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (ehu.masked[k]) continue;
+        if (!single_cycle && ehu.band[k] != c) continue;
+        const uint32_t padded = static_cast<uint32_t>(db[k].magnitude) << 1;
+        if (((padded >> t) & 1u) == 0) continue;
+        const int32_t p = db[k].sign ? -da[k].signed_magnitude()
+                                     : da[k].signed_magnitude();
+        const int local_shift =
+            single_cycle ? std::min(ehu.align[k], w) : ehu.align[k] - c * sp;
+        const int net_shift = guard - local_shift;
+        tree_sum += net_shift >= 0 ? shl(p, net_shift) : asr(p, -net_shift);
+      }
+      const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+      acc_.add(rescale >= 0 ? shl(tree_sum, rescale) : asr(tree_sum, -rescale),
+               ehu.max_exp);
+    }
+  }
+
+  const int cycles = kSteps * bands;
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
+int SerialIpu::int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
+                              int a_bits, int b_bits) {
+  assert(a.size() == b.size());
+  assert(a_bits <= 12 && b_bits <= 32);
+  const size_t n = a.size();
+  for (size_t k = 0; k < n; ++k) {
+    assert(fits_signed(a[k], a_bits));
+    assert(fits_signed(b[k], b_bits));
+  }
+  // Serial over b's two's-complement bits; the top bit carries negative
+  // weight.
+  for (int t = 0; t < b_bits; ++t) {
+    int64_t tree_sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (((b[k] >> t) & 1) == 0) continue;
+      tree_sum += t == b_bits - 1 ? -int64_t{a[k]} : int64_t{a[k]};
+    }
+    int_acc_ += tree_sum << t;
+  }
+  ++stats_.int_ops;
+  stats_.cycles += b_bits;
+  return b_bits;
+}
+
+}  // namespace mpipu

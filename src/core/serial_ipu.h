@@ -1,0 +1,80 @@
+// Bit-serial inner product unit -- the MC-SER design of Table 1 (§4.5).
+//
+// Modeled after Stripes (Judd et al. 2016): each lane multiplies a full
+// 12-bit signed multiplicand by ONE bit of the weight per cycle (12x1
+// multipliers are AND gates feeding the adder tree), so an INT-b weight
+// costs b cycles and an FP16 operand costs 12 cycles ("FP16 operation
+// requires at least 12 cycles per inner product in the case of 12x1
+// multiplier", §4.5) -- more when MC alignment banding kicks in.
+//
+// MC-SER extends the serial datapath with the paper's FP16 optimizations:
+// the same EHU alignment banding and the same local-shift/truncate window
+// of width w apply, with the serial product occupying 13 bits (12-bit
+// magnitude product + sign) at the top of the window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "core/accumulator.h"
+#include "core/ehu.h"
+#include "core/reference.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+struct SerialIpuConfig {
+  int n_inputs = 16;
+  /// Adder tree width w; the serial product needs 13 bits, so the safe
+  /// precision is w - 12 (cf. w - 9 for the 5-bit nibble IPU).
+  int adder_tree_width = 16;
+  int software_precision = 28;
+  bool multi_cycle = true;
+  AccumulatorConfig accumulator{};
+
+  int safe_precision() const { return adder_tree_width - 12; }
+  int window_guard() const { return adder_tree_width - 13; }
+};
+
+struct SerialIpuStats {
+  int64_t fp_ops = 0;
+  int64_t int_ops = 0;
+  int64_t cycles = 0;
+};
+
+class SerialIpu {
+ public:
+  explicit SerialIpu(const SerialIpuConfig& cfg);
+
+  const SerialIpuConfig& config() const { return cfg_; }
+  const SerialIpuStats& stats() const { return stats_; }
+
+  void reset_accumulator();
+
+  /// FP16 inner product, weight operand processed one magnitude bit per
+  /// step (11 magnitude bits + the implicit-left-shift padding = 12 steps).
+  /// Returns datapath cycles (steps x alignment bands).
+  int fp_accumulate(std::span<const Fp16> a, std::span<const Fp16> b);
+
+  /// INT inner product: full-parallel a (<= 12 bits), bit-serial b.
+  /// Costs b_bits cycles; exact.
+  int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
+                     int a_bits, int b_bits);
+
+  template <FpFormat Out>
+  Soft<Out> read_fp() const {
+    return Soft<Out>::round_from_fixed(acc_.value());
+  }
+  FixedPoint read_raw() const { return acc_.value(); }
+  int64_t read_int() const { return int_acc_; }
+
+ private:
+  SerialIpuConfig cfg_;
+  Accumulator acc_;
+  int64_t int_acc_ = 0;
+  SerialIpuStats stats_;
+};
+
+}  // namespace mpipu

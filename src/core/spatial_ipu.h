@@ -1,0 +1,186 @@
+// Spatially decomposed inner product unit.
+//
+// The paper's Related Work contrasts its *temporal* nibble decomposition
+// with *spatial* decomposition (NVDLA computes an FP16 product on two INT8
+// units side by side; DP4A splits an INT32 unit into four INT8 lanes) and
+// notes that "our proposed architecture optimization ... is orthogonal to
+// the decomposition scheme (i.e., temporal, serial, spatial)" (§5).
+//
+// `SpatialIpu` realizes that claim: all Ka x Kb nibble products of every
+// input pair are computed in the same cycle on Ka*Kb*n multipliers, so the
+// alignment shift of lane (k, i, j) combines the EHU alignment d_k with the
+// nibble-significance offset (top_weight - wi - wj).  The MC banding then
+// partitions the *combined* shifts: concentrated exponents finish in one
+// cycle (9x the temporal throughput for 9x the multipliers); wide
+// alignments multi-cycle exactly as in the temporal design.
+//
+// This gives the repo all three decomposition schemes of §5 -- temporal
+// (Ipu), serial (SerialIpu) and spatial (SpatialIpu) -- over the same EHU,
+// accumulator and reference models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "core/accumulator.h"
+#include "core/ehu.h"
+#include "core/nibble.h"
+#include "core/reference.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+struct SpatialIpuConfig {
+  int n_inputs = 16;
+  /// Adder tree width w; safe precision w - 9 as in the temporal IPU.
+  int adder_tree_width = 28;
+  int software_precision = 28;
+  bool multi_cycle = true;
+  bool skip_empty_bands = true;  ///< occupied-band cycle counting (§3.2)
+  AccumulatorConfig accumulator{};
+
+  int safe_precision() const { return adder_tree_width - 9; }
+  int window_guard() const { return adder_tree_width - 10; }
+};
+
+struct SpatialIpuStats {
+  int64_t fp_ops = 0;
+  int64_t cycles = 0;
+  int64_t multi_cycle_ops = 0;
+};
+
+class SpatialIpu {
+ public:
+  explicit SpatialIpu(const SpatialIpuConfig& cfg);
+
+  const SpatialIpuConfig& config() const { return cfg_; }
+  const SpatialIpuStats& stats() const { return stats_; }
+  /// Multipliers this unit instantiates (vs n for the temporal IPU).
+  template <FpFormat F>
+  static constexpr int multipliers_per_input() {
+    return fp_nibble_count(F) * fp_nibble_count(F);
+  }
+
+  void reset_accumulator();
+
+  /// One FP inner product, all nibble products in parallel.
+  /// Returns datapath cycles (1 when every combined shift fits one band).
+  template <FpFormat F>
+  int fp_accumulate(std::span<const Soft<F>> a, std::span<const Soft<F>> b);
+
+  template <FpFormat Out>
+  Soft<Out> read_fp() const {
+    return Soft<Out>::round_from_fixed(acc_.value());
+  }
+  FixedPoint read_raw() const { return acc_.value(); }
+
+ private:
+  SpatialIpuConfig cfg_;
+  Accumulator acc_;
+  SpatialIpuStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+
+inline SpatialIpu::SpatialIpu(const SpatialIpuConfig& cfg)
+    : cfg_(cfg), acc_(cfg.accumulator) {
+  assert(cfg_.n_inputs >= 1);
+  assert(!cfg_.multi_cycle || cfg_.safe_precision() >= 1);
+}
+
+inline void SpatialIpu::reset_accumulator() { acc_.reset(); }
+
+template <FpFormat F>
+int SpatialIpu::fp_accumulate(std::span<const Soft<F>> a, std::span<const Soft<F>> b) {
+  assert(a.size() == b.size());
+  assert(static_cast<int>(a.size()) <= cfg_.n_inputs);
+  const size_t n = a.size();
+  const int kn = fp_nibble_count(F);
+  const int top_weight = 2 * (4 * (kn - 1) - fp_pad_bits(F));  // wi+wj of (K-1,K-1)
+
+  std::vector<Decoded> da(n), db(n);
+  std::vector<NibbleOperand> na(n), nb(n);
+  for (size_t k = 0; k < n; ++k) {
+    da[k] = a[k].decode();
+    db[k] = b[k].decode();
+    na[k] = decompose_fp<F>(da[k]);
+    nb[k] = decompose_fp<F>(db[k]);
+  }
+
+  EhuOptions eopts;
+  eopts.software_precision = cfg_.software_precision;
+  eopts.safe_precision = std::max(cfg_.safe_precision(), 1);
+  const EhuResult ehu = run_ehu(da, db, eopts);
+
+  const int w = cfg_.adder_tree_width;
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+  const bool single_cycle = !cfg_.multi_cycle;
+
+  // Combined shift per (k, i, j): EHU alignment + nibble-significance
+  // offset, so every lane product aligns against 2^(max_exp + top_weight).
+  // Find the band span first.
+  int max_band = 0;
+  uint64_t occupied = 1;
+  if (!single_cycle) {
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu.masked[k]) continue;
+      for (int i = 0; i < kn; ++i) {
+        for (int j = 0; j < kn; ++j) {
+          const int wi = na[k].weight_exp[static_cast<size_t>(i)];
+          const int wj = nb[k].weight_exp[static_cast<size_t>(j)];
+          const int shift = ehu.align[k] + top_weight - (wi + wj);
+          const int band = shift / sp;
+          max_band = std::max(max_band, band);
+          occupied |= uint64_t{1} << std::min(band, 63);
+        }
+      }
+    }
+  }
+  const int bands = single_cycle ? 1 : max_band + 1;
+
+  // value(lane) = p * 2^(wi+wj) * 2^(E_k - 2 man) ; aligned to the top:
+  // = p * 2^(-shift) * 2^(top_weight + max_exp - 2 man).
+  const int base_rescale =
+      top_weight - 2 * F.man_bits - guard + acc_.config().frac_bits;
+
+  for (int c = 0; c < bands; ++c) {
+    int128 tree_sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu.masked[k]) continue;
+      for (int i = 0; i < kn; ++i) {
+        for (int j = 0; j < kn; ++j) {
+          const int wi = na[k].weight_exp[static_cast<size_t>(i)];
+          const int wj = nb[k].weight_exp[static_cast<size_t>(j)];
+          const int shift = ehu.align[k] + top_weight - (wi + wj);
+          if (!single_cycle && shift / sp != c) continue;
+          const int local = single_cycle ? std::min(shift, w) : shift - c * sp;
+          const int32_t p = multiply_lane(na[k].v[static_cast<size_t>(i)],
+                                          nb[k].v[static_cast<size_t>(j)]);
+          const int net = guard - local;
+          tree_sum += net >= 0 ? shl(p, net) : asr(p, -net);
+        }
+      }
+    }
+    const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+    acc_.add(rescale >= 0 ? shl(tree_sum, rescale) : asr(tree_sum, -rescale),
+             ehu.max_exp);
+  }
+
+  const int cycles =
+      single_cycle
+          ? 1
+          : (cfg_.skip_empty_bands
+                 ? __builtin_popcountll(occupied & ((max_band >= 63)
+                                                        ? ~uint64_t{0}
+                                                        : ((uint64_t{1} << (max_band + 1)) - 1)))
+                 : bands);
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  if (cycles > 1) ++stats_.multi_cycle_ops;
+  return cycles;
+}
+
+}  // namespace mpipu

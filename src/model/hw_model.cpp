@@ -1,0 +1,191 @@
+#include "model/hw_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mpipu {
+namespace {
+
+// --- Calibrated component coefficients (gate-equivalents) -------------------
+// Scaling laws are structural; constants are fit to the paper's published
+// relative area results (see hw_model.h header comment and DESIGN.md).
+
+// Array multiplier: ~one full-adder cell per operand-bit pair (incl. sign).
+constexpr double kMultGatesPerBitPair = 5.0;
+// Weight buffer: 9 bytes per multiplier lane (paper: "depth of 9B"),
+// register-file density.
+constexpr double kWbufGatesPerByte = 5.3;
+constexpr double kWbufDepthBytes = 9.0;
+// Barrel shifter: w bits x ceil(log2 w) mux stages.
+constexpr double kShifterGatesPerBitStage = 0.64;
+// Adder tree: (n-1) adders of ~(w + 2) bits.
+constexpr double kAdderGatesPerBit = 5.0;
+// FP accumulator (register + swap/right-shift + wide add + rounding).
+constexpr double kFpAccGatesPerBit = 35.0;
+// INT-only accumulator (register + add; shift amounts are 4k muxes).
+constexpr double kIntAccGatesPerBit = 7.0;
+// EHU: exponent adders, max tree, subtractors, serve logic; per input lane.
+constexpr double kEhuGatesPerLane = 90.0;
+
+// 7nm-ish effective density including routing/overheads; calibrated so the
+// INT4-only design lands at the Table 1 scale (~30 TOPS/mm^2).
+constexpr double kMm2PerGate = 1.63e-7;
+// Per activity-weighted gate at 1 GHz; calibrated to the Table 1 power scale.
+constexpr double kWattsPerPowerUnit = 1.18e-6;
+
+// Activity factors (fraction of gates toggling) per component and mode.
+struct Activity {
+  double mult, wbuf, shifter, adder_tree, accumulator, ehu;
+};
+constexpr Activity kFpActivity{1.0, 0.15, 0.90, 1.00, 0.90, 0.70};
+// In INT mode the FP-only logic (shifters, EHU, the FP parts of the
+// accumulator) is data-gated: it still costs area but only residual power.
+constexpr Activity kIntActivity{1.0, 0.15, 0.05, 1.00, 0.60, 0.05};
+
+int ceil_log2i(int v) { return ceil_log2(v); }
+
+}  // namespace
+
+GateBreakdown tile_gates(const DesignConfig& d) {
+  const TileConfig& t = d.tile;
+  const int n = t.c_unroll;
+  const int ipus = t.ipus_per_tile();
+  const int mults = t.multipliers_per_tile();
+  const int w = t.ipu.adder_tree_width;
+
+  GateBreakdown g;
+  g.mult = mults * kMultGatesPerBitPair * (d.mult_a_payload + 1) * (d.mult_b_payload + 1);
+  g.wbuf = mults * kWbufGatesPerByte * kWbufDepthBytes;
+  g.adder_tree = ipus * kAdderGatesPerBit * (n - 1) * (w + 2);
+  if (d.fp_support) {
+    g.shifter = mults * kShifterGatesPerBitStage * w * ceil_log2i(w + 1);
+    const int acc_bits = 3 + t.ipu.accumulator.frac_bits + t.ipu.accumulator.t +
+                         t.ipu.accumulator.l;
+    g.accumulator = ipus * kFpAccGatesPerBit * acc_bits;
+    // One EHU serves ~9 IPUs: its result is reused across all nine nibble
+    // iterations of an FP16 op (paper §2.2), independent of clustering.
+    g.ehu = ((ipus + 8) / 9) * kEhuGatesPerLane * n;
+  } else {
+    g.shifter = 0.0;
+    const int acc_bits = 33 + t.ipu.accumulator.t + t.ipu.accumulator.l;
+    g.accumulator = ipus * kIntAccGatesPerBit * acc_bits;
+    g.ehu = 0.0;
+  }
+  return g;
+}
+
+GateBreakdown tile_power(const DesignConfig& d, bool fp_mode) {
+  const GateBreakdown g = tile_gates(d);
+  const Activity& a = fp_mode ? kFpActivity : kIntActivity;
+  GateBreakdown p;
+  p.mult = g.mult * a.mult;
+  p.wbuf = g.wbuf * a.wbuf;
+  p.shifter = g.shifter * a.shifter;
+  p.adder_tree = g.adder_tree * a.adder_tree;
+  p.accumulator = g.accumulator * a.accumulator;
+  p.ehu = g.ehu * a.ehu;
+  return p;
+}
+
+double total_area_mm2(const DesignConfig& d) {
+  return tile_gates(d).total() * d.tile.num_tiles * kMm2PerGate;
+}
+
+double total_power_w(const DesignConfig& d, bool fp_mode) {
+  return tile_power(d, fp_mode).total() * d.tile.num_tiles * kWattsPerPowerUnit *
+         d.clock_ghz;
+}
+
+double peak_tops(const DesignConfig& d, int a_bits, int w_bits) {
+  const int ia = (a_bits + d.mult_a_payload - 1) / d.mult_a_payload;
+  const int iw = (w_bits + d.mult_b_payload - 1) / d.mult_b_payload;
+  const double macs_per_cycle =
+      static_cast<double>(d.tile.total_multipliers()) / (ia * iw);
+  return macs_per_cycle * d.clock_ghz * 1e9 / 1e12;
+}
+
+double fp16_tflops(const DesignConfig& d, double cycles_per_unit) {
+  if (!d.fp_support) return 0.0;
+  const double macs_per_cycle = static_cast<double>(d.tile.total_multipliers()) /
+                                (d.fp16_units_per_mac * cycles_per_unit);
+  return macs_per_cycle * d.clock_ghz * 1e9 / 1e12;
+}
+
+double tops_per_mm2(const DesignConfig& d, int a_bits, int w_bits) {
+  return peak_tops(d, a_bits, w_bits) / total_area_mm2(d);
+}
+
+double tops_per_w(const DesignConfig& d, int a_bits, int w_bits) {
+  return peak_tops(d, a_bits, w_bits) / total_power_w(d, /*fp_mode=*/false);
+}
+
+double tflops_per_mm2(const DesignConfig& d, double cycles_per_unit) {
+  return fp16_tflops(d, cycles_per_unit) / total_area_mm2(d);
+}
+
+double tflops_per_w(const DesignConfig& d, double cycles_per_unit) {
+  if (!d.fp_support) return 0.0;
+  return fp16_tflops(d, cycles_per_unit) / total_power_w(d, /*fp_mode=*/true);
+}
+
+// --- Named designs -----------------------------------------------------------
+
+DesignConfig proposed_design(int adder_tree_width, int ipus_per_cluster, bool big,
+                             int software_precision) {
+  DesignConfig d;
+  d.name = "mc-ipu(" + std::to_string(adder_tree_width) + ")," +
+           std::to_string(ipus_per_cluster);
+  d.tile = big ? big_tile(adder_tree_width, software_precision, ipus_per_cluster)
+               : small_tile(adder_tree_width, software_precision, ipus_per_cluster);
+  d.mult_a_payload = 4;
+  d.mult_b_payload = 4;
+  d.fp_support = true;
+  d.fp16_units_per_mac = 9;
+  return d;
+}
+
+DesignConfig int_only_design(bool big) {
+  DesignConfig d;
+  d.name = "int-only";
+  d.tile = big ? big_tile(12, 0, 64) : small_tile(12, 0, 32);
+  d.tile.ipu.multi_cycle = false;
+  d.fp_support = false;
+  d.fp16_units_per_mac = 0;
+  return d;
+}
+
+DesignConfig nvdla_like_design() {
+  DesignConfig d = proposed_design(38, 64, /*big=*/true);
+  d.name = "baseline-38b";
+  d.tile.ipu.multi_cycle = false;
+  return d;
+}
+
+namespace {
+
+DesignConfig table1_base(std::string name, int pa, int pb, int adt, bool fp,
+                         int fp16_units) {
+  DesignConfig d;
+  d.name = std::move(name);
+  d.tile = big_tile(adt, 28, 64);
+  d.tile.ipu.multi_cycle = fp && adt < 38;
+  d.mult_a_payload = pa;
+  d.mult_b_payload = pb;
+  d.fp_support = fp;
+  d.fp16_units_per_mac = fp16_units;
+  return d;
+}
+
+}  // namespace
+
+// Table 1 columns: ADT and MUL widths straight from the paper.
+DesignConfig mc_ser_design() { return table1_base("MC-SER", 12, 1, 16, true, 12); }
+DesignConfig mc_ipu4_design() { return table1_base("MC-IPU4", 4, 4, 16, true, 9); }
+DesignConfig mc_ipu84_design() { return table1_base("MC-IPU84", 8, 4, 20, true, 6); }
+DesignConfig mc_ipu8_design() { return table1_base("MC-IPU8", 8, 8, 23, true, 2); }
+DesignConfig nvdla_table_design() { return table1_base("NVDLA", 8, 8, 36, true, 2); }
+DesignConfig fp16_fma_design() { return table1_base("FP16", 12, 12, 36, true, 1); }
+DesignConfig int8_only_design() { return table1_base("INT8", 8, 8, 16, false, 0); }
+DesignConfig int4_only_design() { return table1_base("INT4", 4, 4, 9, false, 0); }
+
+}  // namespace mpipu

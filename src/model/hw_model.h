@@ -1,0 +1,103 @@
+// Analytical hardware area / power / efficiency model (paper §4.2, §4.4, §4.5).
+//
+// The paper synthesizes SystemVerilog with 7nm libraries; we replace that
+// flow with a gate-count-style component model whose coefficients are
+// calibrated so the paper's published *relative* results hold:
+//   * dropping the adder tree from 38b to 28b saves ~17% tile area,
+//   * dropping to 12b saves ~39%,
+//   * MC-IPU(12) costs ~43% more area than an INT-only tile,
+//   * Baseline2 peaks at 4 TOPS / 455 GFLOPS at 1 GHz (so do we).
+// Component scaling laws are first-principles (multiplier ~ a*b, barrel
+// shifter ~ w log w, adder tree ~ n*(w + log n), registers ~ width); only
+// the per-component constants are fit.  See DESIGN.md (substitutions).
+//
+// The model emits the same component split as Fig. 7: multipliers (MULT),
+// weight buffers (WBuf), EHUs (ShCNT), local shifters (Shft), adder trees
+// (AT) and accumulators (FAcc).
+#pragma once
+
+#include <string>
+
+#include "sim/tile.h"
+
+namespace mpipu {
+
+/// A full datapath design point (Table 1 column / Fig. 7 bar).
+struct DesignConfig {
+  std::string name;
+  TileConfig tile{};
+  /// Multiplier payload bits per operand (excluding the sign lane bit):
+  /// the proposed IPU is 4x4 (5b x 5b signed); MC-IPU8 is 8x8, etc.
+  int mult_a_payload = 4;
+  int mult_b_payload = 4;
+  /// Whether the design carries FP alignment hardware (shifters, EHU, FP
+  /// accumulator).  INT-only designs omit them.
+  bool fp_support = true;
+  /// Temporal/spatial units consumed per FP16 MAC before alignment stalls
+  /// (9 nibble iterations for the 4x4 design; 2 spatially-fused INT8 units
+  /// for NVDLA-style 8x8; 12 for bit-serial).
+  int fp16_units_per_mac = 9;
+  /// Clock (GHz); the paper's throughput numbers imply 1 GHz.
+  double clock_ghz = 1.0;
+};
+
+/// Gate-equivalent counts per tile, split as in Fig. 7.
+struct GateBreakdown {
+  double mult = 0.0;
+  double wbuf = 0.0;
+  double shifter = 0.0;      ///< "Shft": local alignment shifters
+  double adder_tree = 0.0;   ///< "AT"
+  double accumulator = 0.0;  ///< "FAcc"
+  double ehu = 0.0;          ///< "ShCNT"
+
+  double total() const {
+    return mult + wbuf + shifter + adder_tree + accumulator + ehu;
+  }
+};
+
+/// Gate counts for one tile of the design.
+GateBreakdown tile_gates(const DesignConfig& d);
+
+/// Dynamic-power proxy per tile (gate count x per-component activity), in
+/// arbitrary units convertible to watts via kWattsPerPowerUnit.  `fp_mode`
+/// selects the activity profile: in INT mode the FP-only logic is clock- or
+/// data-gated but still taxes the design through its (small) idle activity
+/// and through the area it adds.
+GateBreakdown tile_power(const DesignConfig& d, bool fp_mode);
+
+/// Area of the full accelerator (all tiles), mm^2 (calibrated constant).
+double total_area_mm2(const DesignConfig& d);
+/// Power of the full accelerator, W.
+double total_power_w(const DesignConfig& d, bool fp_mode);
+
+/// Peak integer throughput in TOPS (1 OP = one AxW MAC) for operand widths
+/// (a_bits x w_bits); accounts for the temporal iterations the multiplier
+/// needs.  Zero if the design cannot run the mode.
+double peak_tops(const DesignConfig& d, int a_bits, int w_bits);
+
+/// Peak FP16 throughput in TFLOPS assuming `cycles_per_unit` datapath
+/// cycles per unit (1.0 = no alignment stalls; feed the cycle simulator's
+/// average for effective throughput).  Zero if FP is unsupported.
+double fp16_tflops(const DesignConfig& d, double cycles_per_unit = 1.0);
+
+/// Efficiency summaries.
+double tops_per_mm2(const DesignConfig& d, int a_bits, int w_bits);
+double tops_per_w(const DesignConfig& d, int a_bits, int w_bits);
+double tflops_per_mm2(const DesignConfig& d, double cycles_per_unit = 1.0);
+double tflops_per_w(const DesignConfig& d, double cycles_per_unit = 1.0);
+
+/// Named design points from the paper.
+DesignConfig proposed_design(int adder_tree_width, int ipus_per_cluster,
+                             bool big = true, int software_precision = 28);
+DesignConfig int_only_design(bool big = true);   ///< Fig. 7 "INT"
+DesignConfig nvdla_like_design();                ///< 38b ADT baseline tile
+DesignConfig mc_ser_design();                    ///< Table 1 MC-SER (12x1)
+DesignConfig mc_ipu4_design();                   ///< Table 1 MC-IPU4 (4x4, 16b)
+DesignConfig mc_ipu84_design();                  ///< Table 1 MC-IPU84 (8x4, 20b)
+DesignConfig mc_ipu8_design();                   ///< Table 1 MC-IPU8 (8x8, 23b)
+DesignConfig nvdla_table_design();               ///< Table 1 NVDLA (8x8, 36b)
+DesignConfig fp16_fma_design();                  ///< Table 1 FP16 (12x12, 36b)
+DesignConfig int8_only_design();                 ///< Table 1 INT8 (8x8, 16b)
+DesignConfig int4_only_design();                 ///< Table 1 INT4 (4x4, 9b)
+
+}  // namespace mpipu

@@ -1,0 +1,77 @@
+// Convolution executors: an exact host-double reference ("FP32 CPU") and a
+// bit-accurate path that runs every inner product through the IPU datapath.
+// Used by the §3.1 end-to-end agreement study and the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ipu.h"
+#include "nn/tensor.h"
+#include "workload/quantizer.h"
+
+namespace mpipu {
+
+struct ConvSpec {
+  int stride = 1;
+  int pad = 0;
+
+  int out_dim(int in, int k) const { return (in + 2 * pad - k) / stride + 1; }
+};
+
+/// Exact reference convolution in host double ("FP32 CPU" stand-in; double
+/// is a strict superset of FP32 for these magnitudes).
+Tensor conv_reference(const Tensor& input, const FilterBank& filters,
+                      const ConvSpec& spec);
+
+/// Accumulation destination for the FP16 datapath convolution.
+enum class AccumKind { kFp16, kFp32 };
+
+struct IpuConvStats {
+  int64_t fp_ops = 0;
+  int64_t cycles = 0;
+};
+
+/// Convolution with every inner product executed on the given IPU datapath:
+/// inputs/weights are first rounded to FP16, partial sums accumulate in the
+/// IPU accumulator and are rounded to the destination once per output pixel.
+Tensor conv_ipu_fp16(const Tensor& input, const FilterBank& filters, const ConvSpec& spec,
+                     const IpuConfig& ipu_cfg, AccumKind accum,
+                     IpuConvStats* stats = nullptr);
+
+/// Convolution with operands quantized to (a_bits, w_bits) integers and
+/// executed on the IPU's INT mode; the result is dequantized to real values.
+Tensor conv_ipu_int(const Tensor& input, const FilterBank& filters, const ConvSpec& spec,
+                    const IpuConfig& ipu_cfg, int a_bits, int w_bits,
+                    IpuConvStats* stats = nullptr);
+
+/// Elementwise ReLU.
+Tensor relu(const Tensor& t);
+/// 2x2 max pool, stride 2.
+Tensor maxpool2(const Tensor& t);
+
+/// Rotate a filter bank for the data-gradient (backward) convolution:
+/// dL/dx = conv(dL/dy, W^T) with W spatially flipped and cin/cout swapped.
+FilterBank transpose_for_dgrad(const FilterBank& f);
+
+/// Data-gradient convolution (stride-1 layers): given the output gradient,
+/// compute the input gradient through the same datapath -- the backward-path
+/// workload the paper studies in §4.3 / Fig. 9(b).  Pads by k-1 ("full"
+/// convolution) so shapes invert conv with pad p = k-1-p_fwd.
+Tensor dgrad_reference(const Tensor& grad_out, const FilterBank& filters, int fwd_pad);
+Tensor dgrad_ipu_fp16(const Tensor& grad_out, const FilterBank& filters, int fwd_pad,
+                      const IpuConfig& ipu_cfg, AccumKind accum,
+                      IpuConvStats* stats = nullptr);
+
+/// Output-agreement metrics between a datapath result and the reference.
+struct AgreementStats {
+  double max_abs_err = 0.0;
+  double mean_abs_err = 0.0;
+  double max_rel_err = 0.0;   ///< on elements with |ref| > 1e-6
+  double snr_db = 0.0;        ///< signal-to-error ratio
+  int64_t mismatched_fp16 = 0;  ///< elements whose FP16 rounding differs
+  int64_t total = 0;
+};
+
+AgreementStats compare_outputs(const Tensor& test, const Tensor& reference);
+
+}  // namespace mpipu

@@ -1,0 +1,79 @@
+// Minimal dense CHW tensor used by the end-to-end agreement study (§3.1's
+// accuracy experiment).  Host doubles are the "framework" representation;
+// the datapath consumes FP16/INT views produced by explicit conversion.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "softfloat/softfloat.h"
+#include "workload/distributions.h"
+
+namespace mpipu {
+
+struct Tensor {
+  int c = 0, h = 0, w = 0;
+  std::vector<double> data;  // CHW layout
+
+  Tensor() = default;
+  Tensor(int c_, int h_, int w_) : c(c_), h(h_), w(w_), data(size(), 0.0) {}
+
+  size_t size() const {
+    return static_cast<size_t>(c) * static_cast<size_t>(h) * static_cast<size_t>(w);
+  }
+  double& at(int ci, int hi, int wi) {
+    assert(ci < c && hi < h && wi < w);
+    return data[(static_cast<size_t>(ci) * static_cast<size_t>(h) + static_cast<size_t>(hi)) *
+                    static_cast<size_t>(w) +
+                static_cast<size_t>(wi)];
+  }
+  double at(int ci, int hi, int wi) const {
+    return const_cast<Tensor*>(this)->at(ci, hi, wi);
+  }
+
+  /// Quantize every element to its nearest FP16 (the downcast a framework
+  /// performs before feeding an FP16 datapath).
+  Tensor rounded_to_fp16() const {
+    Tensor t = *this;
+    for (auto& v : t.data) v = Fp16::from_double(v).to_double();
+    return t;
+  }
+};
+
+/// 4-D filter bank: cout filters of cin x kh x kw.
+struct FilterBank {
+  int cout = 0, cin = 0, kh = 0, kw = 0;
+  std::vector<double> data;  // [cout][cin][kh][kw]
+
+  FilterBank() = default;
+  FilterBank(int co, int ci, int kh_, int kw_)
+      : cout(co), cin(ci), kh(kh_), kw(kw_),
+        data(static_cast<size_t>(co) * static_cast<size_t>(ci) * static_cast<size_t>(kh_) *
+                 static_cast<size_t>(kw_),
+             0.0) {}
+
+  double& at(int co, int ci, int y, int x) {
+    return data[((static_cast<size_t>(co) * static_cast<size_t>(cin) + static_cast<size_t>(ci)) *
+                     static_cast<size_t>(kh) +
+                 static_cast<size_t>(y)) *
+                    static_cast<size_t>(kw) +
+                static_cast<size_t>(x)];
+  }
+  double at(int co, int ci, int y, int x) const {
+    return const_cast<FilterBank*>(this)->at(co, ci, y, x);
+  }
+
+  FilterBank rounded_to_fp16() const {
+    FilterBank f = *this;
+    for (auto& v : f.data) v = Fp16::from_double(v).to_double();
+    return f;
+  }
+};
+
+Tensor random_tensor(Rng& rng, int c, int h, int w, ValueDist dist, double scale);
+FilterBank random_filters(Rng& rng, int cout, int cin, int kh, int kw, ValueDist dist,
+                          double scale);
+
+}  // namespace mpipu

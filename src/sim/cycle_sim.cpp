@@ -1,0 +1,184 @@
+#include "sim/cycle_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mpipu {
+namespace {
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Sentinel for a masked (zero-operand) product: the EHU sees a subnormal
+/// exponent far below every live product, so its alignment always exceeds
+/// the software precision.
+constexpr int kMaskedExp = INT32_MIN / 4;
+
+/// Service time (cycles) of one FP-IP op on one IPU: iterations x bands.
+/// Per §3.2, products are partitioned by required shift into bands of width
+/// sp and "all products in partition k are added in the same cycle": the op
+/// costs one cycle per *occupied* band (ipu.skip_empty_bands true, the
+/// simulator default) or one per band up to the largest occupied one (the
+/// literal Fig. 5 serve-loop).
+int op_cycles(const std::vector<int>& product_exps, const IpuConfig& ipu,
+              int iterations_per_op) {
+  int max_exp = kMaskedExp;
+  for (int e : product_exps) max_exp = std::max(max_exp, e);
+  if (!ipu.multi_cycle || max_exp == kMaskedExp) return iterations_per_op;
+  const int sp = ipu.safe_precision();
+  uint64_t occupied = 0;  // bit b set <=> band b occupied (b < 64 always:
+                          // software precision <= 58 and sp >= 1)
+  for (int e : product_exps) {
+    if (e == kMaskedExp) continue;
+    const int d = max_exp - e;
+    if (d <= ipu.software_precision) occupied |= uint64_t{1} << (d / sp);
+  }
+  int bands;
+  if (ipu.skip_empty_bands) {
+    bands = std::max(1, __builtin_popcountll(occupied));
+  } else {
+    bands = occupied == 0 ? 1 : 64 - __builtin_clzll(occupied);
+  }
+  return iterations_per_op * bands;
+}
+
+}  // namespace
+
+int64_t layer_broadcast_steps(const ConvLayer& layer, const TileConfig& tile) {
+  // One broadcast step feeds C channels of one kernel position to every IPU;
+  // the tile computes H x Wo output positions for K output channels at once.
+  const int64_t cin_chunks = ceil_div(layer.cin, tile.c_unroll);
+  const int64_t k_groups = ceil_div(ceil_div(layer.cout, tile.num_tiles), tile.k_unroll);
+  const int64_t spatial_groups =
+      ceil_div(layer.hout, tile.h_unroll) * ceil_div(layer.wout, tile.w_unroll);
+  return static_cast<int64_t>(layer.kh) * layer.kw * cin_chunks * k_groups *
+         spatial_groups;
+}
+
+NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
+                                  const SimOptions& opts) {
+  NetworkSimResult result;
+  result.network = net.name;
+  result.tile = tile.name;
+
+  Rng rng(opts.seed);
+  const ExponentJitter act_jitter = net.tensor_stats.act_jitter;
+  const ExponentJitter wgt_jitter = net.tensor_stats.wgt_jitter;
+
+  const int n = tile.c_unroll;
+  const int ipus = tile.ipus_per_tile();
+  const int clusters = tile.num_clusters();
+  const int per_cluster = tile.ipus_per_cluster;
+  const int spatial_copies = tile.h_unroll * tile.w_unroll;
+  const int B = tile.input_buffer_depth;
+
+  for (const auto& layer : net.layers) {
+    const int64_t steps_total = layer_broadcast_steps(layer, tile) * layer.repeat;
+    const int sampled = static_cast<int>(
+        std::min<int64_t>(opts.sampled_steps, std::max<int64_t>(steps_total, 1)));
+
+    // Per-cluster completion times over the sampled stream, modeling the
+    // broadcast/buffer handshake:
+    //   issue(t)   >= issue(t-1) + 1                      (one op per cycle)
+    //   issue(t)   >= finish(c, t-B) for every cluster c  (buffer capacity)
+    //   start(c,t)  = max(issue(t), finish(c, t-1))
+    //   finish(c,t) = start(c,t) + service(c,t)
+    std::vector<std::vector<double>> finish(
+        static_cast<size_t>(clusters), std::vector<double>(static_cast<size_t>(sampled), 0.0));
+    double issue_prev = -1.0;
+    int64_t stall_slots = 0;
+
+    std::vector<int> product_exps(static_cast<size_t>(n));
+    std::vector<int> act_exps(static_cast<size_t>(spatial_copies * n));
+    double iteration_cycles_sum = 0.0;
+    int64_t iteration_count = 0;
+
+    for (int t = 0; t < sampled; ++t) {
+      // Fresh activation jitters per spatial copy (shared across K) and
+      // fresh weight jitters per IPU (each IPU holds a different output
+      // channel's filter; every step is a new kernel position / chunk).
+      // Only relative exponents matter: the op's base exponent cancels in
+      // the alignment computation, so jitters are sampled directly.  Zero
+      // activations (ReLU sparsity) yield EHU-masked products.
+      for (auto& e : act_exps) {
+        e = rng.bernoulli(net.tensor_stats.act_zero_prob) ? kMaskedExp
+                                                          : sample_jitter(rng, act_jitter);
+      }
+
+      double issue = issue_prev + 1.0;
+      for (int c = 0; c < clusters; ++c) {
+        if (t >= B) issue = std::max(issue, finish[static_cast<size_t>(c)][static_cast<size_t>(t - B)]);
+      }
+      stall_slots += issue > issue_prev + 1.0 ? 1 : 0;
+      issue_prev = issue;
+
+      for (int c = 0; c < clusters; ++c) {
+        int service = 0;
+        for (int i = 0; i < per_cluster; ++i) {
+          const int ipu_idx = c * per_cluster + i;
+          const int copy = ipu_idx % spatial_copies;  // interleave spatial copies
+          for (int p = 0; p < n; ++p) {
+            const int ae = act_exps[static_cast<size_t>(copy * n + p)];
+            product_exps[static_cast<size_t>(p)] =
+                ae == kMaskedExp ? kMaskedExp : ae + sample_jitter(rng, wgt_jitter);
+          }
+          const int cyc = op_cycles(product_exps, tile.ipu, opts.iterations_per_op);
+          service = std::max(service, cyc);
+          iteration_cycles_sum += static_cast<double>(cyc) / opts.iterations_per_op;
+          ++iteration_count;
+        }
+        const double start =
+            std::max(issue, t > 0 ? finish[static_cast<size_t>(c)][static_cast<size_t>(t - 1)] : 0.0);
+        finish[static_cast<size_t>(c)][static_cast<size_t>(t)] = start + service;
+      }
+      (void)ipus;
+    }
+
+    double total = 0.0;
+    for (int c = 0; c < clusters; ++c) {
+      total = std::max(total, finish[static_cast<size_t>(c)][static_cast<size_t>(sampled - 1)]);
+    }
+
+    LayerSimResult lr;
+    lr.layer = layer.name;
+    lr.total_steps = steps_total;
+    lr.cycles_per_step = total / sampled;
+    lr.total_cycles = lr.cycles_per_step * static_cast<double>(steps_total);
+    lr.avg_iteration_cycles = iteration_cycles_sum / static_cast<double>(iteration_count);
+    lr.stall_fraction = static_cast<double>(stall_slots) / sampled;
+    result.total_cycles += lr.total_cycles;
+    result.layers.push_back(std::move(lr));
+  }
+  return result;
+}
+
+IntHistogram alignment_histogram(const Network& net, int n_inputs,
+                                 int samples_per_layer, uint64_t seed) {
+  IntHistogram hist(64);
+  Rng rng(seed);
+  std::vector<int> exps(static_cast<size_t>(n_inputs));
+  for (size_t l = 0; l < net.layers.size(); ++l) {
+    for (int s = 0; s < samples_per_layer; ++s) {
+      int max_exp = INT32_MIN;
+      int live = 0;
+      for (auto& e : exps) {
+        if (rng.bernoulli(net.tensor_stats.act_zero_prob)) {
+          e = INT32_MIN;  // zero operand: excluded, as in the paper's
+                          // histogram of live product alignments
+          continue;
+        }
+        e = sample_jitter(rng, net.tensor_stats.act_jitter) +
+            sample_jitter(rng, net.tensor_stats.wgt_jitter);
+        max_exp = std::max(max_exp, e);
+        ++live;
+      }
+      if (live == 0) continue;
+      for (int e : exps) {
+        if (e != INT32_MIN) hist.add(max_exp - e);
+      }
+    }
+  }
+  return hist;
+}
+
+}  // namespace mpipu

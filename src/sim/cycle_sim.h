@@ -1,0 +1,82 @@
+// Cycle-accurate convolution-tile simulator (paper §4.1).
+//
+// Models, for each convolution layer, the stream of broadcast operations a
+// weight-stationary tile executes and the per-IPU alignment cycles they
+// cost.  Three architectural effects determine the cycle count:
+//
+//   1. nibble iterations: 9 per FP16 inner product (3x3 nibble pairs);
+//   2. MC-IPU multi-cycling: a nibble iteration costs floor(d_max/sp) + 1
+//      cycles, where d_max is the op's largest unmasked alignment on that
+//      IPU (§3.2);
+//   3. clustering: IPUs in a cluster proceed in lockstep (an op's service
+//      time is the max over the cluster), clusters proceed independently
+//      behind private input buffers, and the broadcaster stalls when any
+//      cluster's buffer is full (§3.3).
+//
+// Operand exponents are drawn from the layer's tensor distributions
+// (activations shared by all IPUs of a spatial copy; weights independent
+// per output channel), reproducing the correlation structure that makes
+// clustering effective.  The simulator samples a bounded number of
+// broadcast steps per layer and scales to the layer's full op count --
+// the same sampling strategy the paper uses (5% tensor samples).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/error_metrics.h"
+#include "common/rng.h"
+#include "sim/tile.h"
+#include "workload/distributions.h"
+#include "workload/networks.h"
+
+namespace mpipu {
+
+struct SimOptions {
+  /// Broadcast steps sampled per layer (scaled up to the true step count).
+  int sampled_steps = 1500;
+  /// Exponent pool size per distribution.
+  int exponent_pool = 1 << 15;
+  uint64_t seed = 0xC0FFEE;
+  /// FP16 operands -> 9 nibble iterations per op.
+  int iterations_per_op = 9;
+};
+
+struct LayerSimResult {
+  std::string layer;
+  int64_t total_steps = 0;      ///< broadcast ops per tile for this layer
+  double cycles_per_step = 0.0; ///< simulated steady-state service rate
+  double total_cycles = 0.0;    ///< cycles_per_step * total_steps (per tile)
+  double avg_iteration_cycles = 0.0;  ///< mean cycles per nibble iteration
+  double stall_fraction = 0.0;  ///< fraction of broadcast issue slots stalled
+};
+
+struct NetworkSimResult {
+  std::string network;
+  std::string tile;
+  std::vector<LayerSimResult> layers;
+  double total_cycles = 0.0;
+
+  /// Execution time normalized to a baseline run of the same network.
+  double normalized_to(const NetworkSimResult& base) const {
+    return total_cycles / base.total_cycles;
+  }
+};
+
+/// Number of broadcast steps one tile executes for a layer (weight
+/// stationary mapping; utilization losses from cin < C or cout < K are
+/// modeled by ceil()).
+int64_t layer_broadcast_steps(const ConvLayer& layer, const TileConfig& tile);
+
+/// Simulate one network on one tile configuration.
+NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
+                                  const SimOptions& opts = {});
+
+/// Collect the distribution of product alignments (exponent differences)
+/// for a network on n-input IPUs -- reproduces Fig. 9.
+IntHistogram alignment_histogram(const Network& net, int n_inputs,
+                                 int samples_per_layer = 4000,
+                                 uint64_t seed = 0xFEED);
+
+}  // namespace mpipu

@@ -1,0 +1,50 @@
+#include "sim/tile.h"
+
+namespace mpipu {
+namespace {
+
+TileConfig make_tile(std::string name, int c, int k, int w, int precision,
+                     int cluster) {
+  TileConfig t;
+  t.name = std::move(name);
+  t.c_unroll = c;
+  t.k_unroll = k;
+  t.ipus_per_cluster = cluster;
+  t.ipu.n_inputs = c;
+  t.ipu.adder_tree_width = w;
+  t.ipu.software_precision = precision;
+  t.ipu.multi_cycle = w < precision + 10;  // single cycle once the window
+                                           // covers every unmasked shift
+  // §3.2 partitions: only occupied alignment bands cost cycles.
+  t.ipu.skip_empty_bands = true;
+  t.ipu.accumulator.t = ceil_log2(c);
+  return t;
+}
+
+}  // namespace
+
+TileConfig small_tile(int adder_tree_width, int software_precision, int ipus_per_cluster) {
+  return make_tile("small", 8, 8, adder_tree_width, software_precision,
+                   ipus_per_cluster);
+}
+
+TileConfig big_tile(int adder_tree_width, int software_precision, int ipus_per_cluster) {
+  return make_tile("big", 16, 16, adder_tree_width, software_precision,
+                   ipus_per_cluster);
+}
+
+TileConfig baseline1() {
+  TileConfig t = small_tile(38, 28, 32);
+  t.name = "baseline1";
+  t.ipu.multi_cycle = false;
+  return t;
+}
+
+TileConfig baseline2() {
+  TileConfig t = big_tile(38, 28, 64);
+  t.name = "baseline2";
+  t.ipu.multi_cycle = false;
+  return t;
+}
+
+}  // namespace mpipu

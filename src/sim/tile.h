@@ -1,0 +1,55 @@
+// Convolution-tile architecture description (paper §4.1, Fig. 6).
+//
+// A tile unrolls (C, K, H, Wo): each of the K*H*Wo IPUs takes C products per
+// cycle; the K dimension maps output channels, H/Wo are spatial output
+// copies sharing weights (weight-stationary).  IPUs are grouped into
+// clusters with private input/output buffers (§3.3): the activation bank
+// broadcasts one input vector per cycle to every cluster's input buffer and
+// stalls when any buffer is full.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+#include "core/ipu.h"
+
+namespace mpipu {
+
+struct TileConfig {
+  std::string name = "big";
+  int c_unroll = 16;  ///< products per IPU (n_inputs)
+  int k_unroll = 16;  ///< output channels per tile
+  int h_unroll = 2;   ///< spatial output rows computed in parallel
+  int w_unroll = 2;   ///< spatial output cols computed in parallel
+  int num_tiles = 4;
+  /// IPUs per cluster; k_unroll * h_unroll * w_unroll means one cluster per
+  /// tile (i.e. no clustering, the NO-OPT behaviour).
+  int ipus_per_cluster = 64;
+  /// Ops each cluster's private input buffer can hold (§3.3).
+  int input_buffer_depth = 8;
+  /// Datapath parameters of every IPU in the tile.
+  IpuConfig ipu{};
+
+  int ipus_per_tile() const { return k_unroll * h_unroll * w_unroll; }
+  int num_clusters() const {
+    assert(ipus_per_tile() % ipus_per_cluster == 0);
+    return ipus_per_tile() / ipus_per_cluster;
+  }
+  int multipliers_per_tile() const { return c_unroll * ipus_per_tile(); }
+  int total_multipliers() const { return multipliers_per_tile() * num_tiles; }
+};
+
+/// The paper's small tile: (8, 8, 2, 2), four tiles.
+TileConfig small_tile(int adder_tree_width, int software_precision,
+                      int ipus_per_cluster = 32);
+/// The paper's big tile: (16, 16, 2, 2), four tiles.
+TileConfig big_tile(int adder_tree_width, int software_precision,
+                    int ipus_per_cluster = 64);
+
+/// Baseline1 / Baseline2 (§4.1): 38-bit adder trees, single cycle per nibble
+/// iteration, no clustering.  (1 TOPS / 113 GFLOPS and 4 TOPS / 455 GFLOPS
+/// at 1 GHz.)
+TileConfig baseline1();
+TileConfig baseline2();
+
+}  // namespace mpipu

@@ -1,0 +1,138 @@
+// IEEE-style arithmetic on the soft formats: multiply, add, conversions and
+// a fused multiply-add.  Everything is computed exactly via FixedPoint and
+// rounded once (RNE), which is precisely IEEE 754 correct rounding for
+// these operations.
+//
+// This powers the "typical FP16 FMA" comparison datapath (Table 1's FP16
+// column and the ablation benches): a conventional accelerator computes an
+// inner product as a *chain* of FMAs, rounding the accumulator at every
+// step, whereas the paper's IPU aligns products against one max exponent
+// and rounds once.  The two error models differ and the ablation bench
+// quantifies it.
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "common/fixed_point.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+namespace detail {
+
+template <FpFormat F>
+bool propagate_special2(Soft<F> a, Soft<F> b, Soft<F>* out, bool is_mul) {
+  if (a.is_nan() || b.is_nan()) {
+    *out = Soft<F>::quiet_nan();
+    return true;
+  }
+  if (is_mul) {
+    if (a.is_inf() || b.is_inf()) {
+      // inf * 0 = NaN, otherwise signed inf.
+      if (a.is_zero() || b.is_zero()) {
+        *out = Soft<F>::quiet_nan();
+      } else {
+        *out = Soft<F>::infinity(a.sign() != b.sign());
+      }
+      return true;
+    }
+  } else {
+    if (a.is_inf() && b.is_inf()) {
+      *out = a.sign() == b.sign() ? a : Soft<F>::quiet_nan();
+      return true;
+    }
+    if (a.is_inf()) {
+      *out = a;
+      return true;
+    }
+    if (b.is_inf()) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Correctly rounded (RNE) multiplication.
+template <FpFormat F>
+Soft<F> soft_mul(Soft<F> a, Soft<F> b) {
+  Soft<F> special;
+  if (detail::propagate_special2(a, b, &special, /*is_mul=*/true)) return special;
+  const bool sign = a.sign() != b.sign();
+  if (a.is_zero() || b.is_zero()) return Soft<F>::zero(sign);
+  const Decoded da = a.decode(), db = b.decode();
+  const FixedPoint prod(static_cast<int128>(da.signed_magnitude()) * db.signed_magnitude(),
+                        da.exp + db.exp - 2 * F.man_bits);
+  Soft<F> r = Soft<F>::round_from_fixed(prod);
+  return r;  // sign is carried by the signed magnitudes
+}
+
+/// Correctly rounded (RNE) addition.  Note: exact cancellation yields +0,
+/// matching IEEE RNE semantics.
+template <FpFormat F>
+Soft<F> soft_add(Soft<F> a, Soft<F> b) {
+  Soft<F> special;
+  if (detail::propagate_special2(a, b, &special, /*is_mul=*/false)) return special;
+  if (a.is_zero() && b.is_zero()) {
+    // IEEE: (+0) + (-0) = +0 under RNE; equal signs keep the sign.
+    return Soft<F>::zero(a.sign() && b.sign());
+  }
+  const FixedPoint sum = a.to_fixed() + b.to_fixed();
+  if (sum.is_zero()) return Soft<F>::zero();
+  return Soft<F>::round_from_fixed(sum);
+}
+
+template <FpFormat F>
+Soft<F> soft_sub(Soft<F> a, Soft<F> b) {
+  const Soft<F> neg_b =
+      b.is_nan() ? b : Soft<F>::from_fields(!b.sign(), b.exp_field(), b.man_field());
+  return soft_add(a, neg_b);
+}
+
+/// Correctly rounded conversion between formats (e.g. FP32 -> FP16
+/// downcast, FP16 -> FP32 exact widening).
+template <FpFormat In, FpFormat Out>
+Soft<Out> soft_convert(Soft<In> v) {
+  if (v.is_nan()) return Soft<Out>::quiet_nan();
+  if (v.is_inf()) return Soft<Out>::infinity(v.sign());
+  if (v.is_zero()) return Soft<Out>::zero(v.sign());
+  return Soft<Out>::round_from_fixed(v.to_fixed());
+}
+
+/// Fused multiply-add with mixed precision: acc + a*b where a, b are In and
+/// the accumulator is Out (the mixed-precision-training FMA: FP16 operands,
+/// FP32 accumulate).  Single rounding, as a hardware FMA performs.
+template <FpFormat In, FpFormat Out>
+Soft<Out> soft_fma(Soft<In> a, Soft<In> b, Soft<Out> acc) {
+  if (a.is_nan() || b.is_nan() || acc.is_nan()) return Soft<Out>::quiet_nan();
+  if (a.is_inf() || b.is_inf()) {
+    if (a.is_zero() || b.is_zero()) return Soft<Out>::quiet_nan();
+    const bool psign = a.sign() != b.sign();
+    if (acc.is_inf() && acc.sign() != psign) return Soft<Out>::quiet_nan();
+    return Soft<Out>::infinity(psign);
+  }
+  if (acc.is_inf()) return acc;
+  const Decoded da = a.decode(), db = b.decode();
+  const FixedPoint prod(static_cast<int128>(da.signed_magnitude()) * db.signed_magnitude(),
+                        da.exp + db.exp - 2 * In.man_bits);
+  const FixedPoint sum = prod + acc.to_fixed();
+  if (sum.is_zero()) return Soft<Out>::zero();
+  return Soft<Out>::round_from_fixed(sum);
+}
+
+/// A conventional FMA-chain inner product: the baseline error model the
+/// paper's single-rounding IPU is compared against.  Rounds the accumulator
+/// after every element.
+template <FpFormat In, FpFormat Out>
+Soft<Out> fma_chain_inner_product(std::span<const Soft<In>> a,
+                                  std::span<const Soft<In>> b) {
+  assert(a.size() == b.size());
+  Soft<Out> acc = Soft<Out>::zero();
+  for (size_t i = 0; i < a.size(); ++i) acc = soft_fma<In, Out>(a[i], b[i], acc);
+  return acc;
+}
+
+}  // namespace mpipu

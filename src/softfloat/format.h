@@ -1,0 +1,35 @@
+// IEEE-754-style binary floating point format descriptors.
+//
+// The paper's datapath handles FP16 natively and is extensible to BFloat16
+// and TF32 (Appendix B): all are sign/exponent/mantissa formats differing
+// only in field widths.  `FpFormat` captures a format as a compile-time
+// constant so the soft-float value type, the nibble decomposition and the
+// exponent-handling unit can all be written once and instantiated per type.
+#pragma once
+
+#include <cstdint>
+
+namespace mpipu {
+
+struct FpFormat {
+  int exp_bits;
+  int man_bits;
+
+  constexpr int total_bits() const { return 1 + exp_bits + man_bits; }
+  constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  /// Unbiased exponent of the smallest normal (== exponent of subnormals).
+  constexpr int min_exp() const { return 1 - bias(); }
+  /// Unbiased exponent of the largest finite normal.
+  constexpr int max_exp() const { return (1 << exp_bits) - 2 - bias(); }
+  /// Number of significant magnitude bits including the implicit bit.
+  constexpr int sig_bits() const { return man_bits + 1; }
+  constexpr uint32_t exp_mask() const { return (1u << exp_bits) - 1; }
+  constexpr uint32_t man_mask() const { return (1u << man_bits) - 1; }
+};
+
+inline constexpr FpFormat kFp16Format{5, 10};
+inline constexpr FpFormat kFp32Format{8, 23};
+inline constexpr FpFormat kBf16Format{8, 7};
+inline constexpr FpFormat kTf32Format{8, 10};
+
+}  // namespace mpipu

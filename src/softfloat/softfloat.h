@@ -1,0 +1,225 @@
+// Bit-accurate software floating point value type.
+//
+// `Soft<Format>` stores the raw encoding and exposes exactly the views the
+// accelerator datapath needs:
+//   * classification (zero / subnormal / normal / inf / nan),
+//   * the *signed magnitude* decomposition the paper uses: magnitude is the
+//     sig_bits()-wide integer `1.mantissa` (normal) or `0.mantissa`
+//     (subnormal), with value  (-1)^s * magnitude * 2^(E - man_bits)  where
+//     E is the unbiased exponent (min_exp() for subnormals),
+//   * exact conversion to/from FixedPoint, and round-to-nearest-even
+//     encoding from an exact FixedPoint (used to round the accumulator back
+//     to FP16/FP32, and to convert workload doubles to FP16).
+//
+// No host floating point is used on any datapath path; `to_double` exists
+// only for reporting and test oracles.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/bits.h"
+#include "common/fixed_point.h"
+#include "softfloat/format.h"
+
+namespace mpipu {
+
+/// Sign/exponent/magnitude view of a finite FP value.
+/// value = (-1)^sign * magnitude * 2^(exp - (sig_bits-1))
+/// i.e. `magnitude` is an integer in [0, 2^sig_bits) whose implicit binary
+/// point sits after its MSB position.
+struct Decoded {
+  bool sign = false;
+  int exp = 0;        ///< Unbiased exponent (min_exp for zero/subnormal).
+  int32_t magnitude = 0;  ///< sig_bits-wide unsigned integer.
+
+  int32_t signed_magnitude() const { return sign ? -magnitude : magnitude; }
+};
+
+template <FpFormat F>
+class Soft {
+ public:
+  static constexpr FpFormat format = F;
+  using StorageT = uint32_t;
+
+  constexpr Soft() = default;
+
+  static constexpr Soft from_bits(uint32_t raw) {
+    Soft s;
+    s.bits_ = raw & low_mask32(F.total_bits());
+    return s;
+  }
+
+  static constexpr Soft from_fields(bool sign, uint32_t exp_field, uint32_t man_field) {
+    assert(exp_field <= F.exp_mask());
+    assert(man_field <= F.man_mask());
+    return from_bits((static_cast<uint32_t>(sign) << (F.exp_bits + F.man_bits)) |
+                     (exp_field << F.man_bits) | man_field);
+  }
+
+  static constexpr Soft zero(bool sign = false) { return from_fields(sign, 0, 0); }
+  static constexpr Soft infinity(bool sign = false) { return from_fields(sign, F.exp_mask(), 0); }
+  static constexpr Soft quiet_nan() {
+    return from_fields(false, F.exp_mask(), 1u << (F.man_bits - 1));
+  }
+  static constexpr Soft max_finite(bool sign = false) {
+    return from_fields(sign, F.exp_mask() - 1, F.man_mask());
+  }
+  static constexpr Soft min_subnormal(bool sign = false) { return from_fields(sign, 0, 1); }
+  static constexpr Soft min_normal(bool sign = false) { return from_fields(sign, 1, 0); }
+  static constexpr Soft one(bool sign = false) {
+    return from_fields(sign, static_cast<uint32_t>(F.bias()), 0);
+  }
+
+  constexpr uint32_t raw_bits() const { return bits_; }
+  constexpr bool sign() const { return (bits_ >> (F.exp_bits + F.man_bits)) & 1u; }
+  constexpr uint32_t exp_field() const { return (bits_ >> F.man_bits) & F.exp_mask(); }
+  constexpr uint32_t man_field() const { return bits_ & F.man_mask(); }
+
+  constexpr bool is_zero() const { return exp_field() == 0 && man_field() == 0; }
+  constexpr bool is_subnormal() const { return exp_field() == 0 && man_field() != 0; }
+  constexpr bool is_normal() const { return exp_field() != 0 && exp_field() != F.exp_mask(); }
+  constexpr bool is_inf() const { return exp_field() == F.exp_mask() && man_field() == 0; }
+  constexpr bool is_nan() const { return exp_field() == F.exp_mask() && man_field() != 0; }
+  constexpr bool is_finite() const { return exp_field() != F.exp_mask(); }
+
+  /// Signed-magnitude decomposition (paper §2.2 / Appendix A.2).
+  /// Precondition: finite.
+  constexpr Decoded decode() const {
+    assert(is_finite());
+    Decoded d;
+    d.sign = sign();
+    if (exp_field() == 0) {
+      d.exp = F.min_exp();
+      d.magnitude = static_cast<int32_t>(man_field());
+    } else {
+      d.exp = static_cast<int>(exp_field()) - F.bias();
+      d.magnitude = static_cast<int32_t>(man_field() | (1u << F.man_bits));
+    }
+    return d;
+  }
+
+  /// Exact value as a FixedPoint (finite only).
+  constexpr FixedPoint to_fixed() const {
+    const Decoded d = decode();
+    return FixedPoint(d.signed_magnitude(), d.exp - F.man_bits);
+  }
+
+  /// Round an exact FixedPoint to this format with round-to-nearest-even.
+  /// Overflow produces +/-inf; underflow produces subnormals or signed zero.
+  static Soft round_from_fixed(const FixedPoint& fx);
+
+  /// Exact conversion to host double (all formats here fit in double).
+  double to_double() const {
+    if (is_nan()) return std::numeric_limits<double>::quiet_NaN();
+    if (is_inf()) return sign() ? -std::numeric_limits<double>::infinity()
+                                : std::numeric_limits<double>::infinity();
+    const Decoded d = decode();
+    if (d.magnitude == 0) return d.sign ? -0.0 : 0.0;
+    return std::ldexp(static_cast<double>(d.signed_magnitude()), d.exp - F.man_bits);
+  }
+
+  /// Nearest representable value of a host double (RNE), used for workload
+  /// synthesis.  NaN maps to quiet NaN, overflow saturates to inf.
+  static Soft from_double(double v);
+
+  friend constexpr bool operator==(Soft a, Soft b) { return a.bits_ == b.bits_; }
+
+  std::string to_string() const;
+
+ private:
+  static constexpr uint32_t low_mask32(int n) {
+    return n >= 32 ? ~0u : ((1u << n) - 1u);
+  }
+
+  uint32_t bits_ = 0;
+};
+
+using Fp16 = Soft<kFp16Format>;
+using Fp32 = Soft<kFp32Format>;
+using Bf16 = Soft<kBf16Format>;
+using Tf32 = Soft<kTf32Format>;
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <FpFormat F>
+Soft<F> Soft<F>::round_from_fixed(const FixedPoint& fx) {
+  if (fx.is_zero()) return zero();
+  const bool neg = fx.mantissa() < 0;
+  uint128 mag = neg ? static_cast<uint128>(-fx.mantissa()) : static_cast<uint128>(fx.mantissa());
+  int lsb = fx.lsb_exp();
+
+  // Normalize: we want `sig_bits` significant bits with the MSB at weight
+  // 2^exp. msb position p: value = mag * 2^lsb, MSB weight = 2^(p + lsb).
+  int p = msb_index(mag);
+  int exp = p + lsb;
+
+  // Target LSB weight for a normal with exponent `exp` is exp - man_bits.
+  // For values below the normal range, the LSB weight is pinned at
+  // min_exp - man_bits (subnormal quantum).
+  int target_lsb = (exp < F.min_exp() ? F.min_exp() : exp) - F.man_bits;
+
+  auto shift_round = [&](int s) -> uint128 {
+    // Round mag / 2^s to nearest even.
+    if (s <= 0) return mag << (-s);
+    // Shifted entirely below half an ULP (mag < 2^127 so s >= 128 implies
+    // s >= msb + 2): rounds to zero.  Keeps low_mask in range.
+    if (s >= 128) return 0;
+    const uint128 floor_v = mag >> s;
+    const uint128 rem = mag & low_mask(s);
+    const uint128 half = uint128{1} << (s - 1);
+    if (rem > half || (rem == half && (floor_v & 1))) return floor_v + 1;
+    return floor_v;
+  };
+
+  uint128 sig = shift_round(target_lsb - lsb);
+  // Rounding can carry out (e.g. 1.111..1 -> 10.00..0): renormalize.
+  if (msb_index(sig) + target_lsb > exp) {
+    exp = msb_index(sig) + target_lsb;
+    if (exp >= F.min_exp() && msb_index(sig) > F.man_bits) {
+      // Re-round at the (possibly new) quantum; a carry-out always leaves a
+      // power of two so this shift is exact.
+      sig >>= (msb_index(sig) - F.man_bits);
+    }
+  }
+
+  if (sig == 0) return zero(neg);
+  if (exp > F.max_exp()) return infinity(neg);
+
+  if (exp < F.min_exp()) {
+    // Subnormal (or rounded up into min normal).
+    assert(msb_index(sig) <= F.man_bits);
+    return from_fields(neg, (sig >> F.man_bits) & 1 ? 1u : 0u,
+                       static_cast<uint32_t>(sig & F.man_mask()));
+  }
+  assert(msb_index(sig) == F.man_bits);
+  return from_fields(neg, static_cast<uint32_t>(exp + F.bias()),
+                     static_cast<uint32_t>(sig & F.man_mask()));
+}
+
+template <FpFormat F>
+Soft<F> Soft<F>::from_double(double v) {
+  if (std::isnan(v)) return quiet_nan();
+  if (std::isinf(v)) return infinity(v < 0);
+  if (v == 0.0) return zero(std::signbit(v));
+  // Express the double exactly as FixedPoint (53-bit significand).
+  int e;
+  const double frac = std::frexp(v, &e);  // v = frac * 2^e, |frac| in [0.5,1)
+  const auto mant = static_cast<int64_t>(std::ldexp(frac, 53));
+  return round_from_fixed(FixedPoint(mant, e - 53));
+}
+
+template <FpFormat F>
+std::string Soft<F>::to_string() const {
+  if (is_nan()) return "nan";
+  if (is_inf()) return sign() ? "-inf" : "+inf";
+  return std::to_string(to_double());
+}
+
+}  // namespace mpipu

@@ -1,0 +1,186 @@
+#include "workload/networks.h"
+
+namespace mpipu {
+namespace {
+
+ConvLayer conv(std::string name, int cin, int cout, int k, int hout, int stride = 1,
+               int repeat = 1) {
+  ConvLayer l;
+  l.name = std::move(name);
+  l.cin = cin;
+  l.cout = cout;
+  l.kh = l.kw = k;
+  l.hout = l.wout = hout;
+  l.stride = stride;
+  l.repeat = repeat;
+  return l;
+}
+
+ConvLayer conv_rect(std::string name, int cin, int cout, int kh, int kw, int hout,
+                    int wout, int repeat = 1) {
+  ConvLayer l;
+  l.name = std::move(name);
+  l.cin = cin;
+  l.cout = cout;
+  l.kh = kh;
+  l.kw = kw;
+  l.hout = hout;
+  l.wout = wout;
+  l.repeat = repeat;
+  return l;
+}
+
+}  // namespace
+
+Network resnet18_forward() {
+  Network net;
+  net.name = "resnet18-fwd";
+  net.tensor_stats = forward_stats();
+  net.layers = {
+      conv("conv1", 3, 64, 7, 112, 2),
+      // layer1: two basic blocks of 3x3,64 on 56x56.
+      conv("layer1.conv3x3", 64, 64, 3, 56, 1, 4),
+      // layer2: downsample block + basic block on 28x28.
+      conv("layer2.0.conv1", 64, 128, 3, 28, 2),
+      conv("layer2.0.down", 64, 128, 1, 28, 2),
+      conv("layer2.conv3x3", 128, 128, 3, 28, 1, 3),
+      // layer3 on 14x14.
+      conv("layer3.0.conv1", 128, 256, 3, 14, 2),
+      conv("layer3.0.down", 128, 256, 1, 14, 2),
+      conv("layer3.conv3x3", 256, 256, 3, 14, 1, 3),
+      // layer4 on 7x7.
+      conv("layer4.0.conv1", 256, 512, 3, 7, 2),
+      conv("layer4.0.down", 256, 512, 1, 7, 2),
+      conv("layer4.conv3x3", 512, 512, 3, 7, 1, 3),
+  };
+  return net;
+}
+
+Network resnet50_forward() {
+  Network net;
+  net.name = "resnet50-fwd";
+  net.tensor_stats = forward_stats();
+  net.layers = {
+      conv("conv1", 3, 64, 7, 112, 2),
+      // layer1 (56x56): 3 bottlenecks 64-64-256.
+      conv("layer1.conv1x1a", 64, 64, 1, 56),
+      conv("layer1.conv1x1a+", 256, 64, 1, 56, 1, 2),
+      conv("layer1.conv3x3", 64, 64, 3, 56, 1, 3),
+      conv("layer1.conv1x1b", 64, 256, 1, 56, 1, 3),
+      conv("layer1.down", 64, 256, 1, 56),
+      // layer2 (28x28): 4 bottlenecks 128-128-512; block 0 reduces from 256
+      // channels, blocks 1-3 from 512.
+      conv("layer2.conv1x1a", 256, 128, 1, 28),
+      conv("layer2.conv1x1a+", 512, 128, 1, 28, 1, 3),
+      conv("layer2.conv3x3s2", 128, 128, 3, 28, 2),
+      conv("layer2.conv3x3", 128, 128, 3, 28, 1, 3),
+      conv("layer2.conv1x1b", 128, 512, 1, 28, 1, 4),
+      conv("layer2.down", 256, 512, 1, 28, 2),
+      // layer3 (14x14): 6 bottlenecks 256-256-1024.
+      conv("layer3.conv1x1a", 512, 256, 1, 14),
+      conv("layer3.conv1x1a+", 1024, 256, 1, 14, 1, 5),
+      conv("layer3.conv3x3s2", 256, 256, 3, 14, 2),
+      conv("layer3.conv3x3", 256, 256, 3, 14, 1, 5),
+      conv("layer3.conv1x1b", 256, 1024, 1, 14, 1, 6),
+      conv("layer3.down", 512, 1024, 1, 14, 2),
+      // layer4 (7x7): 3 bottlenecks 512-512-2048.
+      conv("layer4.conv1x1a", 1024, 512, 1, 7),
+      conv("layer4.conv1x1a+", 2048, 512, 1, 7, 1, 2),
+      conv("layer4.conv3x3s2", 512, 512, 3, 7, 2),
+      conv("layer4.conv3x3", 512, 512, 3, 7, 1, 2),
+      conv("layer4.conv1x1b", 512, 2048, 1, 7, 1, 3),
+      conv("layer4.down", 1024, 2048, 1, 7, 2),
+  };
+  return net;
+}
+
+Network inception_v3_forward() {
+  Network net;
+  net.name = "inceptionv3-fwd";
+  net.tensor_stats = forward_stats();
+  net.layers = {
+      // Stem.
+      conv("stem.conv1", 3, 32, 3, 149, 2),
+      conv("stem.conv2", 32, 32, 3, 147),
+      conv("stem.conv3", 32, 64, 3, 147),
+      conv("stem.conv4", 64, 80, 1, 73),
+      conv("stem.conv5", 80, 192, 3, 71),
+      // Mixed 5b/5c/5d (35x35) -- 1x1, 5x5 and double-3x3 branches.
+      conv("mixed5.b1x1", 192, 64, 1, 35),
+      conv("mixed5.b1x1+", 256, 64, 1, 35),
+      conv("mixed5.b1x1++", 288, 64, 1, 35),
+      conv("mixed5.b5x5r", 192, 48, 1, 35),
+      conv("mixed5.b5x5", 48, 64, 5, 35, 1, 3),
+      conv("mixed5.b3x3r", 192, 64, 1, 35),
+      conv("mixed5.b3x3a", 64, 96, 3, 35, 1, 3),
+      conv("mixed5.b3x3b", 96, 96, 3, 35, 1, 3),
+      conv("mixed5.pool1x1", 192, 32, 1, 35),
+      conv("mixed5.pool1x1+", 256, 64, 1, 35),
+      conv("mixed5.pool1x1++", 288, 64, 1, 35),
+      // Mixed 6a reduction (17x17).
+      conv("mixed6a.3x3s2", 288, 384, 3, 17, 2),
+      conv("mixed6a.dbl1", 288, 64, 1, 35),
+      conv("mixed6a.dbl2", 64, 96, 3, 35),
+      conv("mixed6a.dbl3", 96, 96, 3, 17, 2),
+      // Mixed 6b-6e (17x17): factorized 1x7 / 7x1 branches.
+      conv("mixed6.b1x1", 768, 192, 1, 17, 1, 4),
+      conv("mixed6.c7r", 768, 128, 1, 17),
+      conv_rect("mixed6.c1x7", 128, 128, 1, 7, 17, 17),
+      conv_rect("mixed6.c7x1", 128, 192, 7, 1, 17, 17),
+      conv("mixed6.c7r+", 768, 160, 1, 17, 1, 2),
+      conv_rect("mixed6.c1x7+", 160, 160, 1, 7, 17, 17, 4),
+      conv_rect("mixed6.c7x1+", 160, 192, 7, 1, 17, 17, 2),
+      conv("mixed6.c7r++", 768, 192, 1, 17),
+      conv_rect("mixed6.c1x7++", 192, 192, 1, 7, 17, 17, 5),
+      conv_rect("mixed6.c7x1++", 192, 192, 7, 1, 17, 17, 5),
+      conv("mixed6.pool1x1", 768, 192, 1, 17, 1, 4),
+      // Mixed 7a reduction (8x8).
+      conv("mixed7a.3x3r", 768, 192, 1, 17),
+      conv("mixed7a.3x3s2", 192, 320, 3, 8, 2),
+      conv("mixed7a.7x7r", 768, 192, 1, 17),
+      conv("mixed7a.3x3s2b", 192, 192, 3, 8, 2),
+      // Mixed 7b/7c (8x8).
+      conv("mixed7.b1x1", 1280, 320, 1, 8),
+      conv("mixed7.b1x1+", 2048, 320, 1, 8),
+      conv("mixed7.b3x3r", 1280, 384, 1, 8),
+      conv("mixed7.b3x3r+", 2048, 384, 1, 8),
+      conv_rect("mixed7.b1x3", 384, 384, 1, 3, 8, 8, 4),
+      conv_rect("mixed7.b3x1", 384, 384, 3, 1, 8, 8, 4),
+      conv("mixed7.dblr", 1280, 448, 1, 8),
+      conv("mixed7.dblr+", 2048, 448, 1, 8),
+      conv("mixed7.dbl3x3", 448, 384, 3, 8, 1, 2),
+      conv("mixed7.pool1x1", 1280, 192, 1, 8),
+      conv("mixed7.pool1x1+", 2048, 192, 1, 8),
+  };
+  return net;
+}
+
+Network resnet18_backward() {
+  // Data-gradient convolutions: dL/dx = conv(dL/dy, W^T).  Shapes mirror the
+  // forward layers with cin/cout swapped and the *input* spatial size as the
+  // output; strided layers become fractionally-strided (we model the
+  // arithmetic-equivalent dense shape).  conv1 has no data gradient.
+  Network fwd = resnet18_forward();
+  Network net;
+  net.name = "resnet18-bwd";
+  net.tensor_stats = backward_stats();
+  for (const auto& l : fwd.layers) {
+    if (l.name == "conv1") continue;
+    ConvLayer g = l;
+    g.name = l.name + ".dgrad";
+    g.cin = l.cout;
+    g.cout = l.cin;
+    g.hout = l.hout * l.stride;
+    g.wout = l.wout * l.stride;
+    g.stride = 1;
+    net.layers.push_back(g);
+  }
+  return net;
+}
+
+std::vector<Network> paper_study_cases() {
+  return {resnet18_forward(), resnet50_forward(), inception_v3_forward(),
+          resnet18_backward()};
+}
+
+}  // namespace mpipu

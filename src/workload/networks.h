@@ -1,0 +1,55 @@
+// Convolution-layer shape tables for the paper's study cases (§4.1):
+// ResNet-18, ResNet-50 and InceptionV3 forward paths, plus the ResNet-18
+// backward (data-gradient) path.  Shapes are derived from the published
+// architectures (He et al. 2016; Szegedy et al. 2016) for 224x224 / 299x299
+// ImageNet inputs; `repeat` collapses identical blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/distributions.h"
+
+namespace mpipu {
+
+struct ConvLayer {
+  std::string name;
+  int cin = 0;      ///< input channels
+  int cout = 0;     ///< output channels (K dimension)
+  int kh = 0, kw = 0;
+  int hout = 0, wout = 0;  ///< output spatial size
+  int stride = 1;
+  int repeat = 1;   ///< identical instances in the network
+
+  /// MACs for one instance.
+  int64_t macs() const {
+    return static_cast<int64_t>(cin) * cout * kh * kw * hout * wout;
+  }
+};
+
+struct Network {
+  std::string name;
+  std::vector<ConvLayer> layers;
+  LayerTensorStats tensor_stats;
+
+  int64_t total_macs() const {
+    int64_t t = 0;
+    for (const auto& l : layers) t += l.macs() * l.repeat;
+    return t;
+  }
+};
+
+/// Forward-path convolution stacks.
+Network resnet18_forward();
+Network resnet50_forward();
+Network inception_v3_forward();
+
+/// ResNet-18 backward path (data gradients): transposed-shape convolutions
+/// with gradient-like (wide dynamic range) tensor statistics.
+Network resnet18_backward();
+
+/// All four study cases of §4.1 in paper order.
+std::vector<Network> paper_study_cases();
+
+}  // namespace mpipu

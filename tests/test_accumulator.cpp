@@ -1,0 +1,169 @@
+// Unit tests for the non-normalized accumulator (paper Fig. 1 right side):
+// exponent tracking, swap-then-right-shift, architectural truncation and
+// width clamping.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/accumulator.h"
+
+namespace mpipu {
+namespace {
+
+TEST(Accumulator, StartsEmptyAndZero) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_TRUE(acc.value().is_zero());
+  EXPECT_FALSE(acc.overflowed());
+}
+
+TEST(Accumulator, FirstAddSetsExponent) {
+  Accumulator acc;
+  acc.add(100, 5);
+  EXPECT_FALSE(acc.empty());
+  EXPECT_EQ(acc.exponent(), 5);
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 100);
+}
+
+TEST(Accumulator, SameExponentAddsExactly) {
+  Accumulator acc;
+  acc.add(100, 3);
+  acc.add(-30, 3);
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 70);
+  EXPECT_EQ(acc.exponent(), 3);
+}
+
+TEST(Accumulator, LowerExponentInputIsRightShifted) {
+  Accumulator acc;
+  acc.add(100, 10);
+  // Input 4 exponents below: mantissa >> 4, floor.
+  acc.add(33, 6);  // 33 >> 4 == 2
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 102);
+  EXPECT_EQ(acc.exponent(), 10);
+  // Negative mantissa floors toward -inf, like a 2's complement shifter.
+  acc.add(-33, 6);  // -33 >> 4 == -3
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 99);
+}
+
+TEST(Accumulator, HigherExponentInputTriggersSwap) {
+  // Swap: the *register* is shifted down instead of the input -- the
+  // datapath's trick to avoid a left shifter.
+  Accumulator acc;
+  acc.add(0b1011, 0);
+  acc.add(1, 2);  // register >>= 2 (0b10), then add
+  EXPECT_EQ(acc.exponent(), 2);
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 0b10 + 1);
+}
+
+TEST(Accumulator, SwapDiscardsOnlyBitsBelowNewLsb) {
+  Accumulator acc;
+  acc.add(0b1100, 0);  // low 2 bits zero: swap by 2 is exact
+  acc.add(5, 2);
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 0b11 + 5);
+}
+
+TEST(Accumulator, ValueSemanticsTrackFracBits) {
+  AccumulatorConfig cfg;
+  cfg.frac_bits = 30;
+  Accumulator acc(cfg);
+  acc.add(int128{3} << 30, 4);  // value = 3 * 2^4
+  EXPECT_EQ(acc.value().to_double_value(), 48.0);
+}
+
+TEST(Accumulator, ZeroAddOnEmptyStaysEmpty) {
+  Accumulator acc;
+  acc.add(0, 7);
+  EXPECT_TRUE(acc.empty());
+  EXPECT_TRUE(acc.value().is_zero());
+}
+
+TEST(Accumulator, ZeroAddOnNonEmptyCanStillRaiseExponent) {
+  // A zero adder-tree result with a larger max_exp still updates the
+  // exponent register and shifts the magnitude (hardware behaviour).
+  Accumulator acc;
+  acc.add(0b111, 0);
+  acc.add(0, 1);
+  EXPECT_EQ(acc.exponent(), 1);
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 0b11);
+}
+
+TEST(Accumulator, WidthClampSetsOverflowFlag) {
+  AccumulatorConfig cfg;
+  cfg.frac_bits = 4;
+  cfg.t = 0;
+  cfg.l = 0;  // register width = 7 bits: range [-64, 63]
+  Accumulator acc(cfg);
+  acc.add(60, 0);
+  EXPECT_FALSE(acc.overflowed());
+  acc.add(60, 0);
+  EXPECT_TRUE(acc.overflowed());
+  EXPECT_EQ(static_cast<int64_t>(acc.register_value()), 63);  // saturated
+}
+
+TEST(Accumulator, InSpecWorkloadNeverOverflows) {
+  // The paper provisions t = ceil_log2(n) and l = ceil_log2(d): adding n*d
+  // worst-case products must not overflow.
+  AccumulatorConfig cfg;
+  cfg.frac_bits = 30;
+  cfg.t = 4;   // n = 16
+  cfg.l = 9;   // d = 512
+  Accumulator acc(cfg);
+  // Worst-case adder-tree result per op: 16 lanes x the max FP16 magnitude
+  // product (2047^2, strictly below 2^22) at the accumulator scale
+  // 2^(30 - 20): the "< 4" integer-part bound the 3 int bits provision for.
+  const int128 worst = int128{16} * 2047 * 2047 * (int128{1} << 10);
+  for (int i = 0; i < 512; ++i) acc.add(worst, 0);
+  EXPECT_FALSE(acc.overflowed());
+}
+
+TEST(Accumulator, LosslessModeIsExact) {
+  AccumulatorConfig cfg;
+  cfg.lossless = true;
+  Accumulator acc(cfg);
+  Accumulator plain;  // frac 30, truncating
+  Rng rng(3);
+  FixedPoint expect(0, 0);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t m = rng.uniform_int(-1000000, 1000000);
+    const int e = static_cast<int>(rng.uniform_int(-20, 20));
+    acc.add(m, e);
+    expect = expect + FixedPoint(m, e - cfg.frac_bits);
+  }
+  EXPECT_TRUE(acc.value() == expect);
+}
+
+TEST(Accumulator, ResetClearsEverything) {
+  Accumulator acc;
+  acc.add(123, 9);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_TRUE(acc.value().is_zero());
+}
+
+TEST(Accumulator, TruncationMatchesExactWithinOneLsb) {
+  // Property: for monotone same-exponent streams, the truncating
+  // accumulator differs from exact accumulation by less than the number of
+  // shifted adds, each contributing < 1 register LSB.
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    AccumulatorConfig cfg;
+    Accumulator acc(cfg);
+    FixedPoint exact(0, 0);
+    const int base_exp = static_cast<int>(rng.uniform_int(-10, 10));
+    int shifted_adds = 0;
+    for (int i = 0; i < 50; ++i) {
+      const int64_t m = rng.uniform_int(-(1 << 20), 1 << 20);
+      const int e = base_exp - static_cast<int>(rng.uniform_int(0, 12));
+      if (e < base_exp) ++shifted_adds;
+      acc.add(m, e);
+      exact = exact + FixedPoint(m, e - cfg.frac_bits);
+    }
+    // Align both to the final LSB and compare.
+    const int lsb = acc.exponent() - cfg.frac_bits;
+    const double err = (exact - acc.value()).to_double_value();
+    const double lsb_weight = std::ldexp(1.0, lsb);
+    EXPECT_LE(std::fabs(err), (shifted_adds + 1.0) * lsb_weight) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mpipu

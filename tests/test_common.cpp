@@ -1,0 +1,175 @@
+// Unit tests for the common substrate: bit utilities, FixedPoint, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/fixed_point.h"
+#include "common/rng.h"
+
+namespace mpipu {
+namespace {
+
+// --- bits.h -----------------------------------------------------------------
+
+TEST(Bits, AsrFloorsNegative) {
+  EXPECT_EQ(asr(7, 1), 3);
+  EXPECT_EQ(asr(-7, 1), -4);
+  EXPECT_EQ(asr(-1, 100), -1);
+  EXPECT_EQ(asr(int128{1} << 100, 100), 1);
+  EXPECT_EQ(asr(5, 0), 5);
+  EXPECT_EQ(asr(-12345, 127), -1);
+  EXPECT_EQ(asr(12345, 127), 0);
+}
+
+TEST(Bits, ShlRoundTrips) {
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_EQ(asr(shl(-3, s), s), -3);
+    EXPECT_EQ(asr(shl(3, s), s), 3);
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xF, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0xFF, 9), 255);
+  EXPECT_EQ(sign_extend(int128{1} << 126, 128), int128{1} << 126);
+}
+
+TEST(Bits, FitsAndTruncateAndSaturate) {
+  EXPECT_TRUE(fits_signed(7, 4));
+  EXPECT_FALSE(fits_signed(8, 4));
+  EXPECT_TRUE(fits_signed(-8, 4));
+  EXPECT_FALSE(fits_signed(-9, 4));
+  EXPECT_EQ(truncate_signed(0x1F, 4), -1);
+  EXPECT_EQ(truncate_signed(16, 4), 0);
+  EXPECT_EQ(saturate_signed(100, 4), 7);
+  EXPECT_EQ(saturate_signed(-100, 4), -8);
+  EXPECT_EQ(saturate_signed(5, 4), 5);
+}
+
+TEST(Bits, MsbAndMagnitude) {
+  EXPECT_EQ(msb_index(0), -1);
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(0x80), 7);
+  EXPECT_EQ(magnitude_bits(0), 0);
+  EXPECT_EQ(magnitude_bits(-1), 1);
+  EXPECT_EQ(magnitude_bits(255), 8);
+  EXPECT_EQ(magnitude_bits(-256), 9);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(16), 4);
+  EXPECT_EQ(ceil_log2(17), 5);
+}
+
+TEST(Bits, ToDoubleLargeValues) {
+  EXPECT_EQ(to_double(int128{1} << 100), std::ldexp(1.0, 100));
+  EXPECT_EQ(to_double(-(int128{1} << 100)), -std::ldexp(1.0, 100));
+  EXPECT_EQ(to_double(int128{0}), 0.0);
+  EXPECT_EQ(to_double(int128{-42}), -42.0);
+}
+
+// --- FixedPoint ---------------------------------------------------------------
+
+TEST(FixedPointTest, NormalizedStripsTrailingZeros) {
+  const FixedPoint a(8, 0);
+  const FixedPoint n = a.normalized();
+  EXPECT_EQ(n.mantissa(), 1);
+  EXPECT_EQ(n.lsb_exp(), 3);
+  EXPECT_TRUE(a == n);
+  EXPECT_EQ(FixedPoint(0, 5).normalized().lsb_exp(), 0);
+}
+
+TEST(FixedPointTest, AdditionAcrossWideScaleGap) {
+  // Thanks to normalization, values ~2^90 apart still add exactly.
+  const FixedPoint big(int128{1} << 20, 70);   // 2^90
+  const FixedPoint small(3, -5);               // 3 * 2^-5
+  const FixedPoint sum = big + small;
+  EXPECT_TRUE(sum - big == small);
+  EXPECT_TRUE(sum - small == big);
+}
+
+TEST(FixedPointTest, EqualityIsRepresentationIndependent) {
+  EXPECT_TRUE(FixedPoint(4, 0) == FixedPoint(1, 2));
+  EXPECT_TRUE(FixedPoint(0, 100) == FixedPoint(0, -100));
+  EXPECT_FALSE(FixedPoint(1, 0) == FixedPoint(1, 1));
+}
+
+TEST(FixedPointTest, ToDoubleMatchesLdexp) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t m = rng.uniform_int(-(1LL << 40), 1LL << 40);
+    const int e = static_cast<int>(rng.uniform_int(-60, 60));
+    EXPECT_EQ(FixedPoint(m, e).to_double_value(), std::ldexp(static_cast<double>(m), e));
+  }
+}
+
+TEST(FixedPointTest, TruncatedToLsbIdempotent) {
+  const FixedPoint a(0b10111, -3);
+  const FixedPoint t = a.truncated_to_lsb(0);
+  EXPECT_EQ(t.mantissa(), 0b10);
+  EXPECT_EQ(t.lsb_exp(), 0);
+  EXPECT_TRUE(t.truncated_to_lsb(0) == t);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), 4.0, 0.15);
+}
+
+TEST(RngTest, LogUniformSignedCoversRangeAndSigns) {
+  Rng rng(8);
+  int pos = 0, neg = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform_signed(-10.0, 0.0);
+    EXPECT_GE(std::fabs(v), std::exp2(-10.0) * 0.999);
+    EXPECT_LE(std::fabs(v), 1.001);
+    (v > 0 ? pos : neg)++;
+  }
+  EXPECT_GT(pos, 4000);
+  EXPECT_GT(neg, 4000);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace mpipu

@@ -1,0 +1,151 @@
+// Tests for the Exponent Handling Unit (paper Fig. 5), including the
+// Fig. 4 walk-through example.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ehu.h"
+
+namespace mpipu {
+namespace {
+
+Decoded dec(int exp, int32_t mag = 1, bool sign = false) {
+  Decoded d;
+  d.exp = exp;
+  d.magnitude = mag;
+  d.sign = sign;
+  return d;
+}
+
+TEST(Ehu, StagesOnSimpleInput) {
+  // Products with exponents 3+1=4, 0+0=0, -2+3=1.
+  const std::vector<Decoded> a = {dec(3), dec(0), dec(-2)};
+  const std::vector<Decoded> b = {dec(1), dec(0), dec(3)};
+  EhuOptions opts;
+  opts.software_precision = 28;
+  opts.safe_precision = 19;
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.product_exp, (std::vector<int>{4, 0, 1}));
+  EXPECT_EQ(r.max_exp, 4);
+  EXPECT_EQ(r.align, (std::vector<int>{0, 4, 3}));
+  EXPECT_EQ(r.masked, (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(r.mc_cycles, 1);
+}
+
+TEST(Ehu, Figure4WalkThrough) {
+  // Paper Fig. 4: sp = 5, product exponents (10, 2, 3, 8) -> alignments
+  // (0, 8, 7, 2).  Cycle 0 serves A and D (alignment in [0,5)), cycle 1
+  // serves B and C (alignment in [5,10)): two cycles total.
+  const std::vector<Decoded> a = {dec(10), dec(2), dec(3), dec(8)};
+  const std::vector<Decoded> b = {dec(0), dec(0), dec(0), dec(0)};
+  EhuOptions opts;
+  opts.software_precision = 28;
+  opts.safe_precision = 5;  // MC-IPU(14): sp = 14 - 9
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.align, (std::vector<int>{0, 8, 7, 2}));
+  EXPECT_EQ(r.band, (std::vector<int>{0, 1, 1, 0}));
+  EXPECT_EQ(r.mc_cycles, 2);
+  EXPECT_EQ(r.mc_cycles_skip_empty, 2);
+}
+
+TEST(Ehu, MaskingAtSoftwarePrecision) {
+  const std::vector<Decoded> a = {dec(30), dec(0), dec(13)};
+  const std::vector<Decoded> b = {dec(0), dec(0), dec(0)};
+  EhuOptions opts;
+  opts.software_precision = 16;
+  opts.safe_precision = 7;
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.align, (std::vector<int>{0, 30, 17}));
+  EXPECT_EQ(r.masked, (std::vector<bool>{false, true, true}));
+  // Masked products cost no cycles.
+  EXPECT_EQ(r.mc_cycles, 1);
+  EXPECT_EQ(r.band, (std::vector<int>{0, -1, -1}));
+}
+
+TEST(Ehu, BoundaryAlignmentExactlyAtPrecisionIsKept) {
+  const std::vector<Decoded> a = {dec(16), dec(0)};
+  const std::vector<Decoded> b = {dec(0), dec(0)};
+  EhuOptions opts;
+  opts.software_precision = 16;
+  opts.safe_precision = 7;
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.masked, (std::vector<bool>{false, false}));  // 16 <= 16
+  EXPECT_EQ(r.band, (std::vector<int>{0, 2}));             // 16/7 = 2
+  EXPECT_EQ(r.mc_cycles, 3);
+}
+
+TEST(Ehu, EmptyBandStillCostsCycleUnlessSkipping) {
+  // Alignments {0, 15}: with sp=5 bands are {0, 3} -- bands 1 and 2 empty.
+  const std::vector<Decoded> a = {dec(15), dec(0)};
+  const std::vector<Decoded> b = {dec(0), dec(0)};
+  EhuOptions opts;
+  opts.software_precision = 28;
+  opts.safe_precision = 5;
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.mc_cycles, 4);            // serve loop advances threshold by sp
+  EXPECT_EQ(r.mc_cycles_skip_empty, 2);  // only two occupied bands
+}
+
+TEST(Ehu, AllMaskedStillOneCycle) {
+  const std::vector<Decoded> a = {dec(30), dec(28)};
+  const std::vector<Decoded> b = {dec(0), dec(-20)};
+  EhuOptions opts;
+  opts.software_precision = 8;
+  opts.safe_precision = 3;
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.masked, (std::vector<bool>{false, true}));
+  EXPECT_EQ(r.mc_cycles, 1);
+}
+
+TEST(Ehu, SingleInputAlwaysOneCycle) {
+  const std::vector<Decoded> a = {dec(-7)};
+  const std::vector<Decoded> b = {dec(9)};
+  EhuOptions opts;
+  opts.safe_precision = 3;
+  const EhuResult r = run_ehu(a, b, opts);
+  EXPECT_EQ(r.max_exp, 2);
+  EXPECT_EQ(r.align, (std::vector<int>{0}));
+  EXPECT_EQ(r.mc_cycles, 1);
+}
+
+TEST(Ehu, PropertyCyclesMatchMaxUnmaskedAlignment) {
+  Rng rng(77);
+  for (int t = 0; t < 5000; ++t) {
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    std::vector<Decoded> a, b;
+    for (int k = 0; k < n; ++k) {
+      a.push_back(dec(static_cast<int>(rng.uniform_int(-14, 15))));
+      b.push_back(dec(static_cast<int>(rng.uniform_int(-14, 15))));
+    }
+    EhuOptions opts;
+    opts.software_precision = static_cast<int>(rng.uniform_int(4, 32));
+    opts.safe_precision = static_cast<int>(rng.uniform_int(1, 20));
+    const EhuResult r = run_ehu(a, b, opts);
+    int dmax = 0;
+    int nonempty = 0;
+    std::vector<bool> used(64, false);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_GE(r.align[static_cast<size_t>(k)], 0);
+      if (r.masked[static_cast<size_t>(k)]) {
+        EXPECT_GT(r.align[static_cast<size_t>(k)], opts.software_precision);
+        EXPECT_EQ(r.band[static_cast<size_t>(k)], -1);
+        continue;
+      }
+      EXPECT_LE(r.align[static_cast<size_t>(k)], opts.software_precision);
+      dmax = std::max(dmax, r.align[static_cast<size_t>(k)]);
+      const int band = r.band[static_cast<size_t>(k)];
+      EXPECT_EQ(band, r.align[static_cast<size_t>(k)] / opts.safe_precision);
+      if (!used[static_cast<size_t>(band)]) {
+        used[static_cast<size_t>(band)] = true;
+        ++nonempty;
+      }
+    }
+    EXPECT_EQ(r.mc_cycles, dmax / opts.safe_precision + 1);
+    EXPECT_EQ(r.mc_cycles_skip_empty, std::max(nonempty, 1));
+    EXPECT_LE(r.mc_cycles_skip_empty, r.mc_cycles);
+  }
+}
+
+}  // namespace
+}  // namespace mpipu

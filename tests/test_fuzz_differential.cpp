@@ -1,0 +1,203 @@
+// Differential fuzzing (deterministic seeds): random IPU configurations x
+// random operand streams, cross-checked against the exact reference and
+// against each other.  Complements the targeted property tests with broad
+// configuration coverage.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/error_metrics.h"
+#include "common/rng.h"
+#include "core/ipu.h"
+#include "core/spatial_ipu.h"
+
+namespace mpipu {
+namespace {
+
+std::vector<Fp16> random_fp16(Rng& rng, int n) {
+  std::vector<Fp16> v;
+  while (static_cast<int>(v.size()) < n) {
+    const Fp16 f = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    if (f.is_finite()) v.push_back(f);
+  }
+  return v;
+}
+
+TEST(FuzzDifferential, RandomConfigsLosslessWhenUnbounded) {
+  // Any (w, n, mc, skip) with full software precision and an unbounded
+  // accumulator must be exact -- if not, the datapath drops bits somewhere
+  // it architecturally shouldn't.
+  Rng rng(0xF0021);
+  for (int cfg_trial = 0; cfg_trial < 60; ++cfg_trial) {
+    IpuConfig cfg;
+    cfg.n_inputs = static_cast<int>(rng.uniform_int(1, 32));
+    cfg.multi_cycle = rng.bernoulli(0.7);
+    cfg.adder_tree_width =
+        cfg.multi_cycle ? static_cast<int>(rng.uniform_int(10, 40))
+                        : static_cast<int>(rng.uniform_int(68, 90));
+    cfg.software_precision = 58;
+    cfg.skip_empty_bands = rng.bernoulli(0.5);
+    cfg.skip_zero_iterations = rng.bernoulli(0.5);
+    cfg.accumulator.frac_bits = 100;
+    cfg.accumulator.lossless = true;
+    Ipu ipu(cfg);
+    for (int t = 0; t < 60; ++t) {
+      const auto a = random_fp16(rng, cfg.n_inputs);
+      const auto b = random_fp16(rng, cfg.n_inputs);
+      ipu.reset_accumulator();
+      ipu.fp_accumulate<kFp16Format>(a, b);
+      ASSERT_TRUE(ipu.read_raw() == exact_fp_inner_product<kFp16Format>(a, b))
+          << "cfg " << cfg_trial << " (w=" << cfg.adder_tree_width
+          << ", n=" << cfg.n_inputs << ", mc=" << cfg.multi_cycle << ") trial " << t;
+    }
+  }
+}
+
+TEST(FuzzDifferential, KnobsNeverChangeValuesOnlyCycles) {
+  // skip_empty_bands and skip_zero_iterations are performance knobs: for
+  // identical (w, n, P) the accumulated value must be bit-identical across
+  // all four combinations.
+  Rng rng(0xF0022);
+  for (int cfg_trial = 0; cfg_trial < 25; ++cfg_trial) {
+    IpuConfig base;
+    base.n_inputs = static_cast<int>(rng.uniform_int(2, 16));
+    base.adder_tree_width = static_cast<int>(rng.uniform_int(10, 30));
+    base.software_precision = static_cast<int>(rng.uniform_int(8, 32));
+    base.multi_cycle = true;
+    std::vector<Ipu> variants;
+    for (int m = 0; m < 4; ++m) {
+      IpuConfig c = base;
+      c.skip_empty_bands = m & 1;
+      c.skip_zero_iterations = m & 2;
+      variants.emplace_back(c);
+    }
+    for (int t = 0; t < 80; ++t) {
+      const auto a = random_fp16(rng, base.n_inputs);
+      const auto b = random_fp16(rng, base.n_inputs);
+      for (auto& v : variants) {
+        v.reset_accumulator();
+        v.fp_accumulate<kFp16Format>(a, b);
+      }
+      for (int m = 1; m < 4; ++m) {
+        ASSERT_TRUE(variants[0].read_raw() == variants[static_cast<size_t>(m)].read_raw())
+            << cfg_trial << "/" << t << " variant " << m;
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, ErrorBoundedPerSampleAndShrinksOnAverageAsWindowWidens) {
+  // Per-sample, truncation error is not monotone in w (floors at different
+  // positions can cancel); the sound properties are (a) every sample stays
+  // within the analytic window bound for its w, and (b) the *average* error
+  // is non-increasing as w widens.
+  Rng rng(0xF0023);
+  const std::vector<int> widths = {12, 20, 28, 38};
+  std::vector<double> total_err(widths.size(), 0.0);
+  for (int t = 0; t < 400; ++t) {
+    const auto a = random_fp16(rng, 16);
+    const auto b = random_fp16(rng, 16);
+    const FixedPoint exact = exact_fp_inner_product<kFp16Format>(a, b);
+    int max_exp = INT32_MIN;
+    for (int k = 0; k < 16; ++k) {
+      max_exp = std::max(max_exp, a[static_cast<size_t>(k)].decode().exp +
+                                      b[static_cast<size_t>(k)].decode().exp);
+    }
+    for (size_t wi = 0; wi < widths.size(); ++wi) {
+      const int w = widths[wi];
+      IpuConfig cfg;
+      cfg.n_inputs = 16;
+      cfg.adder_tree_width = w;
+      cfg.software_precision = w;
+      cfg.multi_cycle = false;
+      cfg.accumulator.frac_bits = 100;
+      cfg.accumulator.lossless = true;
+      Ipu ipu(cfg);
+      ipu.fp_accumulate<kFp16Format>(a, b);
+      const double err = absolute_error(ipu.read_raw(), exact);
+      EXPECT_LE(err, window_truncation_operation_bound(16, w, max_exp))
+          << "w=" << w << " trial " << t;
+      total_err[wi] += err;
+    }
+  }
+  for (size_t wi = 1; wi < widths.size(); ++wi) {
+    EXPECT_LE(total_err[wi], total_err[wi - 1]) << widths[wi];
+  }
+}
+
+TEST(FuzzDifferential, TemporalAndSpatialAgreeUnderRandomConfigs) {
+  Rng rng(0xF0024);
+  for (int cfg_trial = 0; cfg_trial < 30; ++cfg_trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    const int w = static_cast<int>(rng.uniform_int(10, 34));
+    IpuConfig tcfg;
+    tcfg.n_inputs = n;
+    tcfg.adder_tree_width = w;
+    tcfg.software_precision = 58;
+    tcfg.multi_cycle = true;
+    tcfg.accumulator.frac_bits = 100;
+    tcfg.accumulator.lossless = true;
+    SpatialIpuConfig scfg;
+    scfg.n_inputs = n;
+    scfg.adder_tree_width = w;
+    scfg.software_precision = 58;
+    scfg.multi_cycle = true;
+    scfg.accumulator = tcfg.accumulator;
+    Ipu temporal(tcfg);
+    SpatialIpu spatial(scfg);
+    for (int t = 0; t < 60; ++t) {
+      const auto a = random_fp16(rng, n);
+      const auto b = random_fp16(rng, n);
+      temporal.reset_accumulator();
+      spatial.reset_accumulator();
+      temporal.fp_accumulate<kFp16Format>(a, b);
+      spatial.fp_accumulate<kFp16Format>(a, b);
+      ASSERT_TRUE(temporal.read_raw() == spatial.read_raw())
+          << cfg_trial << "/" << t << " w=" << w << " n=" << n;
+    }
+  }
+}
+
+TEST(FuzzDifferential, Fp8FormatsWorkThroughTheGenericMachinery) {
+  // The Soft<> template and nibble decomposition are format-generic: FP8
+  // e4m3 / e5m2 (not in the paper, a modern extension) decompose into one
+  // 5-bit lane and run exactly.
+  constexpr FpFormat kE4M3{4, 3};
+  constexpr FpFormat kE5M2{5, 2};
+  static_assert(fp_nibble_count(kE4M3) == 1);
+  static_assert(fp_nibble_count(kE5M2) == 1);
+  Rng rng(0xF0025);
+  IpuConfig cfg;
+  cfg.n_inputs = 16;
+  cfg.adder_tree_width = 40;
+  cfg.software_precision = 40;
+  cfg.multi_cycle = false;
+  cfg.accumulator.frac_bits = 100;
+  cfg.accumulator.lossless = true;
+  Ipu ipu(cfg);
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<Soft<kE4M3>> a, b;
+    for (int k = 0; k < 16; ++k) {
+      a.push_back(Soft<kE4M3>::from_double(rng.normal(0.0, 2.0)));
+      b.push_back(Soft<kE4M3>::from_double(rng.normal(0.0, 2.0)));
+    }
+    ipu.reset_accumulator();
+    const int cycles = ipu.fp_accumulate<kE4M3>(a, b);
+    EXPECT_EQ(cycles, 1);  // 1x1 nibble iteration: FP8 is single-cycle
+    EXPECT_TRUE(ipu.read_raw() == exact_fp_inner_product<kE4M3>(a, b)) << t;
+  }
+  // Round-trip sanity for both FP8 flavors.
+  for (uint32_t raw = 0; raw < 0x100; ++raw) {
+    const auto e43 = Soft<kE4M3>::from_bits(raw);
+    if (e43.is_finite()) {
+      EXPECT_EQ(Soft<kE4M3>::from_double(e43.to_double()).raw_bits(), raw);
+    }
+    const auto e52 = Soft<kE5M2>::from_bits(raw);
+    if (e52.is_finite()) {
+      EXPECT_EQ(Soft<kE5M2>::from_double(e52.to_double()).raw_bits(), raw);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpipu

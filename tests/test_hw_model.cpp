@@ -1,0 +1,157 @@
+// Tests for the analytical hardware model, including the paper's published
+// relative area/power claims (§4.2) that the model is calibrated against.
+#include <gtest/gtest.h>
+
+#include "model/hw_model.h"
+
+namespace mpipu {
+namespace {
+
+TEST(HwModel, ComponentCountsPositive) {
+  const GateBreakdown g = tile_gates(proposed_design(28, 64));
+  EXPECT_GT(g.mult, 0.0);
+  EXPECT_GT(g.wbuf, 0.0);
+  EXPECT_GT(g.shifter, 0.0);
+  EXPECT_GT(g.adder_tree, 0.0);
+  EXPECT_GT(g.accumulator, 0.0);
+  EXPECT_GT(g.ehu, 0.0);
+}
+
+TEST(HwModel, IntOnlyDesignHasNoFpLogic) {
+  const GateBreakdown g = tile_gates(int_only_design());
+  EXPECT_EQ(g.shifter, 0.0);
+  EXPECT_EQ(g.ehu, 0.0);
+  EXPECT_GT(g.accumulator, 0.0);  // still has an INT accumulator
+}
+
+TEST(HwModel, PaperClaim38To28SavesAboutSeventeenPercent) {
+  // §4.2 (1): "By just dropping the adder tree precision from 38 to 28
+  // bits ... area and power are reduced by 17% and 15%".
+  const double a38 = tile_gates(nvdla_like_design()).total();
+  const double a28 = tile_gates(proposed_design(28, 64)).total();
+  const double saving = 1.0 - a28 / a38;
+  EXPECT_GT(saving, 0.12);
+  EXPECT_LT(saving, 0.22);
+  const double p38 = tile_power(nvdla_like_design(), true).total();
+  const double p28 = tile_power(proposed_design(28, 64), true).total();
+  const double psaving = 1.0 - p28 / p38;
+  EXPECT_GT(psaving, 0.10);
+  EXPECT_LT(psaving, 0.25);
+}
+
+TEST(HwModel, PaperClaim12BitSavesAboutThirtyNinePercent) {
+  // §4.2 (2): "tile area can be reduced by up to 39% when reducing adder
+  // tree precision to 12 bits".
+  const double a38 = tile_gates(nvdla_like_design()).total();
+  const double a12 = tile_gates(proposed_design(12, 64)).total();
+  const double saving = 1.0 - a12 / a38;
+  EXPECT_GT(saving, 0.32);
+  EXPECT_LT(saving, 0.46);
+}
+
+TEST(HwModel, PaperClaimMcIpu12CostsAboutFortyThreePercentOverIntOnly) {
+  // §4.2 (3): "In comparison with INT only IPU, MC-IPU(12) can support FP16
+  // with a 43% increase in area".
+  const double a_int = tile_gates(int_only_design()).total();
+  const double a_12 = tile_gates(proposed_design(12, 64)).total();
+  const double increase = a_12 / a_int - 1.0;
+  EXPECT_GT(increase, 0.33);
+  EXPECT_LT(increase, 0.53);
+}
+
+TEST(HwModel, AreaMonotoneInAdderTreeWidth) {
+  double prev = 0.0;
+  for (int w : {12, 16, 20, 24, 28, 38}) {
+    const double a = tile_gates(proposed_design(w, 64)).total();
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(HwModel, BaselineThroughputMatchesPaperSection41) {
+  // Baseline2: 4 TOPS (4x4) and 455 GFLOPS; Baseline1: 1 TOPS / 113 GFLOPS.
+  const DesignConfig b2 = nvdla_like_design();
+  EXPECT_NEAR(peak_tops(b2, 4, 4), 4.096, 0.01);
+  EXPECT_NEAR(fp16_tflops(b2) * 1000.0, 455.0, 1.0);
+  DesignConfig b1 = proposed_design(38, 32, /*big=*/false);
+  b1.tile.ipu.multi_cycle = false;
+  EXPECT_NEAR(peak_tops(b1, 4, 4), 1.024, 0.01);
+  EXPECT_NEAR(fp16_tflops(b1) * 1000.0, 113.8, 1.0);
+}
+
+TEST(HwModel, TemporalIterationsScaleThroughput) {
+  const DesignConfig d = proposed_design(28, 64);
+  EXPECT_NEAR(peak_tops(d, 8, 4) * 2.0, peak_tops(d, 4, 4), 1e-9);
+  EXPECT_NEAR(peak_tops(d, 8, 8) * 4.0, peak_tops(d, 4, 4), 1e-9);
+  EXPECT_NEAR(peak_tops(d, 8, 12) * 6.0, peak_tops(d, 4, 4), 1e-9);
+}
+
+TEST(HwModel, Table1IntColumns) {
+  // INT8-only design runs 4x4 no faster than 8x8 (single 8x8 multiplier).
+  const DesignConfig i8 = int8_only_design();
+  EXPECT_EQ(peak_tops(i8, 4, 4), peak_tops(i8, 8, 8));
+  EXPECT_EQ(fp16_tflops(i8), 0.0);
+  // INT4-only: 8x4 halves, 8x8 quarters.
+  const DesignConfig i4 = int4_only_design();
+  EXPECT_NEAR(peak_tops(i4, 8, 4) * 2.0, peak_tops(i4, 4, 4), 1e-9);
+  EXPECT_NEAR(peak_tops(i4, 8, 8) * 4.0, peak_tops(i4, 4, 4), 1e-9);
+}
+
+TEST(HwModel, Table1OrderingTopsPerMm2At4x4) {
+  // At 4x4, the INT4-only design leads, then MC-IPU4, and wide-multiplier
+  // or wide-adder designs trail (Table 1 row 1 ordering).
+  const double int4 = tops_per_mm2(int4_only_design(), 4, 4);
+  const double mc4 = tops_per_mm2(mc_ipu4_design(), 4, 4);
+  const double mc84 = tops_per_mm2(mc_ipu84_design(), 4, 4);
+  const double mc8 = tops_per_mm2(mc_ipu8_design(), 4, 4);
+  const double nvdla = tops_per_mm2(nvdla_table_design(), 4, 4);
+  const double fp16 = tops_per_mm2(fp16_fma_design(), 4, 4);
+  EXPECT_GT(int4, mc4);
+  EXPECT_GT(mc4, mc84);
+  EXPECT_GT(mc84, mc8);
+  EXPECT_GT(mc8, nvdla);
+  EXPECT_GT(nvdla, fp16);
+}
+
+TEST(HwModel, Table1Fp16RowFavorsWideMultipliers) {
+  // FP16xFP16 row: the FP16 FMA and 8x8 designs beat the nibble designs in
+  // raw FP16 density (the proposed design wins on INT density instead).
+  const double mc4 = tflops_per_mm2(mc_ipu4_design(), 1.3);
+  const double mc8 = tflops_per_mm2(mc_ipu8_design(), 1.1);
+  const double fma = tflops_per_mm2(fp16_fma_design(), 1.0);
+  EXPECT_GT(mc8, mc4);
+  EXPECT_GT(fma, mc4);
+}
+
+TEST(HwModel, IntModePowerBelowFpModePower) {
+  // FP-only logic is data-gated in INT mode.
+  const DesignConfig d = proposed_design(28, 64);
+  EXPECT_LT(total_power_w(d, /*fp_mode=*/false), total_power_w(d, /*fp_mode=*/true));
+}
+
+TEST(HwModel, EhuSharingMakesAreaClusterIndependent) {
+  // EHUs are time-multiplexed across ~9 IPUs regardless of cluster count
+  // (paper §2.2), so the area model does not charge for clustering.
+  const double one_cluster = tile_gates(proposed_design(16, 64)).total();
+  const double sixteen_clusters = tile_gates(proposed_design(16, 4)).total();
+  EXPECT_DOUBLE_EQ(sixteen_clusters, one_cluster);
+  EXPECT_GT(tile_gates(proposed_design(16, 4)).ehu, 0.0);
+}
+
+TEST(HwModel, EfficiencyHeadlineClaimsDirection) {
+  // §4.4: the (12,1)/(16,1) design points improve TOPS/mm^2 and TOPS/W over
+  // the NO-OPT baseline by tens of percent.
+  const DesignConfig base = nvdla_like_design();
+  for (int w : {12, 16}) {
+    const DesignConfig opt = proposed_design(w, 4);
+    const double area_gain = tops_per_mm2(opt, 4, 4) / tops_per_mm2(base, 4, 4) - 1.0;
+    const double power_gain = tops_per_w(opt, 4, 4) / tops_per_w(base, 4, 4) - 1.0;
+    EXPECT_GT(area_gain, 0.25) << w;   // paper: up to 46%
+    EXPECT_LT(area_gain, 0.75) << w;
+    EXPECT_GT(power_gain, 0.30) << w;  // paper: up to 63-74%
+    EXPECT_LT(power_gain, 1.00) << w;
+  }
+}
+
+}  // namespace
+}  // namespace mpipu

@@ -1,0 +1,156 @@
+// Tests for the nibble (temporal) decomposition onto 5-bit signed lanes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/nibble.h"
+
+namespace mpipu {
+namespace {
+
+TEST(NibbleInt, CountsMatchPaper) {
+  // INT8 x INT12 -> 2 x 3 nibbles -> six iterations (paper Section 2.1).
+  EXPECT_EQ(int_nibble_count(8), 2);
+  EXPECT_EQ(int_nibble_count(12), 3);
+  EXPECT_EQ(int_nibble_count(4), 1);
+  EXPECT_EQ(int_nibble_count(16), 4);
+  EXPECT_EQ(int_nibble_count(5), 2);
+}
+
+TEST(NibbleInt, SignedDigitsFitLanes) {
+  Rng rng(11);
+  for (int bits : {4, 8, 12, 16}) {
+    const int64_t lo = -(int64_t{1} << (bits - 1));
+    const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+    for (int t = 0; t < 5000; ++t) {
+      const int64_t v = rng.uniform_int(lo, hi);
+      const NibbleOperand d = decompose_int(v, bits);
+      for (int k = 0; k < d.count; ++k) {
+        EXPECT_GE(d.v[static_cast<size_t>(k)], -15);
+        EXPECT_LE(d.v[static_cast<size_t>(k)], 15);
+      }
+      EXPECT_EQ(d.recompose_scaled(0), v);
+    }
+  }
+}
+
+TEST(NibbleInt, SignedExhaustiveInt8) {
+  for (int v = -128; v <= 127; ++v) {
+    const NibbleOperand d = decompose_int(v, 8);
+    ASSERT_EQ(d.count, 2);
+    EXPECT_EQ(d.recompose_scaled(0), v);
+    EXPECT_GE(d.v[1], -8);
+    EXPECT_LE(d.v[1], 7);
+    EXPECT_GE(d.v[0], 0);
+    EXPECT_LE(d.v[0], 15);
+  }
+}
+
+TEST(NibbleInt, UnsignedExhaustiveInt8) {
+  for (int v = 0; v <= 255; ++v) {
+    const NibbleOperand d = decompose_int_unsigned(v, 8);
+    ASSERT_EQ(d.count, 2);
+    EXPECT_EQ(d.recompose_scaled(0), v);
+  }
+}
+
+TEST(NibbleInt, UnsignedInt4SingleLane) {
+  // Paper: signed or unsigned INT4 both run in a single iteration.
+  for (int v = 0; v <= 15; ++v) {
+    const NibbleOperand d = decompose_int_unsigned(v, 4);
+    ASSERT_EQ(d.count, 1);
+    EXPECT_EQ(d.v[0], v);
+  }
+  for (int v = -8; v <= 7; ++v) {
+    ASSERT_EQ(decompose_int(v, 4).count, 1);
+    EXPECT_EQ(decompose_int(v, 4).v[0], v);
+  }
+}
+
+TEST(NibbleFp, Fp16LayoutMatchesPaperSection22) {
+  // Paper: N2 = M11..M7, N1 = {0, M6..M3}, N0 = {0, M2..M0, 0}.
+  // Take magnitude m = 0b110_1011_0101 (0x6B5), positive.
+  Decoded d;
+  d.sign = false;
+  d.exp = 0;
+  d.magnitude = 0x6B5;  // 0110 1011 0101 over 11 bits: 110 1011 0101
+  const NibbleOperand nb = decompose_fp<kFp16Format>(d);
+  ASSERT_EQ(nb.count, 3);
+  EXPECT_EQ(nb.v[2], 0xD);               // m[10:7] = 1101
+  EXPECT_EQ(nb.v[1], 0x6);               // m[6:3]  = 0110
+  EXPECT_EQ(nb.v[0], (0x5 << 1) & 0xF);  // m[2:0] << 1 = 1010
+  EXPECT_EQ(nb.weight_exp[0], -1);
+  EXPECT_EQ(nb.weight_exp[1], 3);
+  EXPECT_EQ(nb.weight_exp[2], 7);
+}
+
+TEST(NibbleFp, CountsPerFormat) {
+  EXPECT_EQ(fp_nibble_count(kFp16Format), 3);  // 9 iterations
+  EXPECT_EQ(fp_nibble_count(kBf16Format), 2);  // 4 iterations (Appendix B)
+  EXPECT_EQ(fp_nibble_count(kTf32Format), 3);
+  EXPECT_EQ(fp_pad_bits(kFp16Format), 1);      // the implicit left shift
+  EXPECT_EQ(fp_pad_bits(kBf16Format), 0);
+}
+
+TEST(NibbleFp, ExhaustiveFp16RecomposeIdentity) {
+  for (uint32_t raw = 0; raw < 0x10000; ++raw) {
+    const Fp16 f = Fp16::from_bits(raw);
+    if (!f.is_finite()) continue;
+    const Decoded d = f.decode();
+    const NibbleOperand nb = decompose_fp<kFp16Format>(d);
+    // sum v_k * 2^(w_k + 1) == signed_magnitude * 2 (scale clears the -1).
+    EXPECT_EQ(nb.recompose_scaled(1), int64_t{d.signed_magnitude()} * 2) << raw;
+    for (int k = 0; k < nb.count; ++k) {
+      EXPECT_GE(nb.v[static_cast<size_t>(k)], -15);
+      EXPECT_LE(nb.v[static_cast<size_t>(k)], 15);
+    }
+  }
+}
+
+TEST(NibbleFp, ExhaustiveBf16RecomposeIdentity) {
+  for (uint32_t raw = 0; raw < 0x10000; ++raw) {
+    const Bf16 f = Bf16::from_bits(raw);
+    if (!f.is_finite()) continue;
+    const Decoded d = f.decode();
+    const NibbleOperand nb = decompose_fp<kBf16Format>(d);
+    EXPECT_EQ(nb.recompose_scaled(0), d.signed_magnitude());
+  }
+}
+
+TEST(NibbleFp, LaneProductBound) {
+  // |lane| <= 15 so |product| <= 225 -- the constant in Theorem 1.
+  for (int a = -15; a <= 15; ++a) {
+    for (int b = -15; b <= 15; ++b) {
+      EXPECT_LE(std::abs(multiply_lane(static_cast<int8_t>(a), static_cast<int8_t>(b))),
+                kMaxLaneProduct);
+    }
+  }
+}
+
+TEST(NibbleFp, ProductDecompositionIdentity) {
+  // The nine nibble products weighted by 2^(wi+wj) recompose the full
+  // magnitude product -- the algebraic core of the temporal decomposition.
+  Rng rng(5);
+  for (int t = 0; t < 20000; ++t) {
+    const Fp16 fa = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    const Fp16 fb = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    if (!fa.is_finite() || !fb.is_finite()) continue;
+    const Decoded da = fa.decode(), db = fb.decode();
+    const NibbleOperand na = decompose_fp<kFp16Format>(da);
+    const NibbleOperand nb = decompose_fp<kFp16Format>(db);
+    int64_t sum_scaled = 0;  // scaled by 2^2 to clear weight -2
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        const int w = na.weight_exp[static_cast<size_t>(i)] + nb.weight_exp[static_cast<size_t>(j)];
+        sum_scaled += static_cast<int64_t>(multiply_lane(na.v[static_cast<size_t>(i)],
+                                                         nb.v[static_cast<size_t>(j)]))
+                      << (w + 2);
+      }
+    }
+    const int64_t expect =
+        int64_t{da.signed_magnitude()} * int64_t{db.signed_magnitude()} << 2;
+    EXPECT_EQ(sum_scaled, expect);
+  }
+}
+
+}  // namespace
+}  // namespace mpipu

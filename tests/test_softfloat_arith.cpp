@@ -1,0 +1,214 @@
+// Tests for soft-float arithmetic: correct rounding against host oracles,
+// special-value propagation, and the FMA-chain baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/reference.h"
+#include "softfloat/arith.h"
+
+namespace mpipu {
+namespace {
+
+// --- Multiplication ------------------------------------------------------------
+
+TEST(SoftMul, ExhaustiveGridAgainstHost) {
+  // FP16 x FP16 products are exact in double, so double -> fp16 is a single
+  // correct rounding: a strict oracle.  Sweep a structured grid (all
+  // exponents x several mantissas, both signs) -- ~1.4M cases.
+  const uint32_t mans[] = {0, 1, 0x155, 0x2AA, 0x3FF};
+  for (uint32_t ea = 0; ea < 31; ++ea) {
+    for (uint32_t eb = 0; eb < 31; ++eb) {
+      for (uint32_t ma : mans) {
+        for (uint32_t mb : mans) {
+          for (int signs = 0; signs < 4; ++signs) {
+            const Fp16 a = Fp16::from_fields(signs & 1, ea, ma);
+            const Fp16 b = Fp16::from_fields(signs & 2, eb, mb);
+            const Fp16 got = soft_mul(a, b);
+            const Fp16 want = Fp16::from_double(a.to_double() * b.to_double());
+            ASSERT_EQ(got.raw_bits(), want.raw_bits())
+                << a.to_double() << " * " << b.to_double();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SoftMul, RandomAgainstHost) {
+  Rng rng(31);
+  for (int t = 0; t < 200000; ++t) {
+    const Fp16 a = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    const Fp16 b = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    if (a.is_nan() || b.is_nan()) continue;
+    const Fp16 got = soft_mul(a, b);
+    const double want = a.to_double() * b.to_double();
+    if (std::isnan(want)) {
+      EXPECT_TRUE(got.is_nan());
+    } else {
+      EXPECT_EQ(got.raw_bits(), Fp16::from_double(want).raw_bits());
+    }
+  }
+}
+
+TEST(SoftMul, SpecialValues) {
+  EXPECT_TRUE(soft_mul(Fp16::infinity(), Fp16::zero()).is_nan());
+  EXPECT_TRUE(soft_mul(Fp16::quiet_nan(), Fp16::one()).is_nan());
+  EXPECT_TRUE(soft_mul(Fp16::infinity(), Fp16::one(true)).is_inf());
+  EXPECT_TRUE(soft_mul(Fp16::infinity(), Fp16::one(true)).sign());
+  EXPECT_TRUE(soft_mul(Fp16::max_finite(), Fp16::max_finite()).is_inf());  // overflow
+  // Underflow to subnormal / zero.
+  EXPECT_EQ(soft_mul(Fp16::min_subnormal(), Fp16::min_subnormal()).raw_bits(), 0u);
+  EXPECT_EQ(soft_mul(Fp16::min_normal(), Fp16::one()).raw_bits(),
+            Fp16::min_normal().raw_bits());
+}
+
+// --- Addition --------------------------------------------------------------------
+
+TEST(SoftAdd, RandomAgainstHost) {
+  // FP16 + FP16 is exact in double (alignment <= 42 bits): strict oracle.
+  Rng rng(32);
+  for (int t = 0; t < 200000; ++t) {
+    const Fp16 a = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    const Fp16 b = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    if (!a.is_finite() || !b.is_finite()) continue;
+    const Fp16 got = soft_add(a, b);
+    const double want = a.to_double() + b.to_double();
+    EXPECT_EQ(got.raw_bits(), Fp16::from_double(want).raw_bits())
+        << a.to_double() << " + " << b.to_double();
+  }
+}
+
+TEST(SoftAdd, CancellationAndZeroSigns) {
+  const Fp16 x = Fp16::from_double(1.5);
+  const Fp16 nx = Fp16::from_double(-1.5);
+  EXPECT_EQ(soft_add(x, nx).raw_bits(), 0u);           // exact cancel -> +0
+  EXPECT_EQ(soft_add(Fp16::zero(), Fp16::zero(true)).raw_bits(), 0u);
+  EXPECT_EQ(soft_add(Fp16::zero(true), Fp16::zero(true)).raw_bits(), 0x8000u);
+  EXPECT_TRUE(soft_add(Fp16::infinity(), Fp16::infinity(true)).is_nan());
+  EXPECT_TRUE(soft_add(Fp16::infinity(), Fp16::max_finite()).is_inf());
+}
+
+TEST(SoftSub, MatchesAddOfNegation) {
+  Rng rng(33);
+  for (int t = 0; t < 50000; ++t) {
+    const Fp16 a = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    const Fp16 b = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    if (!a.is_finite() || !b.is_finite()) continue;
+    EXPECT_EQ(soft_sub(a, b).raw_bits(),
+              Fp16::from_double(a.to_double() - b.to_double()).raw_bits());
+  }
+}
+
+// --- Conversions -------------------------------------------------------------------
+
+TEST(SoftConvert, Fp16ToFp32IsExact) {
+  for (uint32_t raw = 0; raw < 0x10000; ++raw) {
+    const Fp16 f = Fp16::from_bits(raw);
+    if (f.is_nan()) continue;
+    const Fp32 wide = soft_convert<kFp16Format, kFp32Format>(f);
+    EXPECT_EQ(wide.to_double(), f.to_double()) << raw;
+  }
+}
+
+TEST(SoftConvert, Fp32ToFp16MatchesHostDowncast) {
+  Rng rng(34);
+  for (int t = 0; t < 200000; ++t) {
+    const auto raw = static_cast<uint32_t>(rng.next_u64());
+    const Fp32 f = Fp32::from_bits(raw);
+    if (f.is_nan()) continue;
+    EXPECT_EQ((soft_convert<kFp32Format, kFp16Format>(f)).raw_bits(),
+              Fp16::from_double(f.to_double()).raw_bits());
+  }
+}
+
+TEST(SoftConvert, Fp32ToBf16Truncation) {
+  // 1.0 + epsilon_bf16/2 ties to even.
+  const Fp32 tie = Fp32::from_double(1.0 + std::exp2(-8));
+  EXPECT_EQ((soft_convert<kFp32Format, kBf16Format>(tie)).raw_bits(),
+            Bf16::from_double(1.0).raw_bits());
+}
+
+// --- FMA ---------------------------------------------------------------------------
+
+TEST(SoftFma, SingleRoundingAgainstFloat128) {
+  // fp16*fp16 + fp32 fits a __float128 exactly (span < 113 bits), and the
+  // host's __float128 -> float cast rounds correctly: a strict oracle.
+  Rng rng(35);
+  for (int t = 0; t < 100000; ++t) {
+    const Fp16 a = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    const Fp16 b = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    const Fp32 c = Fp32::from_double(rng.normal(0.0, 100.0));
+    if (!a.is_finite() || !b.is_finite()) continue;
+    const Fp32 got = soft_fma<kFp16Format, kFp32Format>(a, b, c);
+    const __float128 exact = static_cast<__float128>(a.to_double()) *
+                                 static_cast<__float128>(b.to_double()) +
+                             static_cast<__float128>(c.to_double());
+    if (exact == 0) continue;  // signed-zero conventions differ; skip
+    const float want = static_cast<float>(exact);
+    EXPECT_EQ(got.to_double(), static_cast<double>(want))
+        << a.to_double() << "*" << b.to_double() << "+" << c.to_double();
+  }
+}
+
+TEST(SoftFma, SpecialValues) {
+  EXPECT_TRUE(
+      (soft_fma<kFp16Format, kFp32Format>(Fp16::infinity(), Fp16::zero(), Fp32::one()))
+          .is_nan());
+  EXPECT_TRUE((soft_fma<kFp16Format, kFp32Format>(Fp16::infinity(), Fp16::one(),
+                                                  Fp32::infinity(true)))
+                  .is_nan());
+  EXPECT_TRUE(
+      (soft_fma<kFp16Format, kFp32Format>(Fp16::one(), Fp16::one(), Fp32::infinity()))
+          .is_inf());
+}
+
+TEST(FmaChain, OrderDependentRoundingDiffersFromSingleRounding) {
+  // The FMA chain rounds after every element; the exact-then-round result
+  // differs on adversarial inputs (the error-model contrast the paper's
+  // IPU exploits).  Construct a big + small + small... case where the
+  // chain loses the small terms for FP16 accumulation.
+  std::vector<Fp16> a, b;
+  a.push_back(Fp16::from_double(2048.0));
+  b.push_back(Fp16::one());
+  for (int i = 0; i < 8; ++i) {
+    a.push_back(Fp16::from_double(0.5));  // 0.5 each, 4.0 total
+    b.push_back(Fp16::one());
+  }
+  const Fp16 chain = fma_chain_inner_product<kFp16Format, kFp16Format>(a, b);
+  const Fp16 exact = exact_fp_inner_product_rounded<kFp16Format, kFp16Format>(a, b);
+  // Exact: 2052 -> same fp16 bucket as 2052; chain: each +0.5 rounds back
+  // to 2048 (ULP at 2048 is 2), losing everything.
+  EXPECT_EQ(chain.to_double(), 2048.0);
+  EXPECT_EQ(exact.to_double(), 2052.0);
+}
+
+TEST(FmaChain, AgreesWithExactForBenignInputs) {
+  Rng rng(36);
+  int mismatches = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Fp16> a, b;
+    for (int i = 0; i < 16; ++i) {
+      a.push_back(Fp16::from_double(rng.normal(0.0, 1.0)));
+      b.push_back(Fp16::from_double(rng.normal(0.0, 1.0)));
+    }
+    const Fp32 chain = fma_chain_inner_product<kFp16Format, kFp32Format>(a, b);
+    const Fp32 exact = exact_fp_inner_product_rounded<kFp16Format, kFp32Format>(a, b);
+    mismatches += chain.raw_bits() != exact.raw_bits();
+    // Per-step rounding drifts by at most ~n ULPs of FP32 at the partial
+    // sums' scale (O(10) here): a small absolute bound.  Relative error can
+    // look large when the final sum cancels toward zero.
+    const double e = exact.to_double();
+    EXPECT_LT(std::fabs(chain.to_double() - e), 1e-4);
+  }
+  // The chain still agrees bit-for-bit reasonably often; mostly it is a
+  // couple of ULPs off (the single-rounding IPU is strictly better).
+  EXPECT_LT(mismatches, trials);
+  EXPECT_GT(mismatches, 0);
+}
+
+}  // namespace
+}  // namespace mpipu
