@@ -4,6 +4,10 @@
 // MC-alignment machinery -- demonstrating the paper's claim that its
 // optimizations are "orthogonal to the decomposition scheme".
 //
+// Every scheme runs through the single unified entry point: one
+// `DatapathConfig` with only the scheme enum varied, dispatched via
+// `make_datapath` (src/core/datapath.h).
+//
 // Reports, per scheme and adder width: multipliers used, average cycles per
 // op on forward-like and backward-like operands, and throughput per
 // multiplier (the area-normalized comparison that decides which scheme wins
@@ -13,9 +17,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
-#include "core/ipu.h"
-#include "core/serial_ipu.h"
-#include "core/spatial_ipu.h"
+#include "core/datapath.h"
 #include "workload/distributions.h"
 
 namespace mpipu {
@@ -36,55 +38,33 @@ std::vector<Fp16> draw_op(Rng& rng, bool backward) {
 struct SchemeResult {
   double avg_cycles = 0.0;
   int multipliers = 0;
+  int effective_w = 0;
 };
 
-SchemeResult run_temporal(int w, bool backward, uint64_t seed) {
+/// One DatapathConfig, any scheme: the unified entry point under test.
+SchemeResult run_scheme(DecompositionScheme scheme, int w, bool backward,
+                        uint64_t seed) {
   Rng rng(seed);
-  IpuConfig cfg;
+  DatapathConfig cfg;
+  cfg.scheme = scheme;
   cfg.n_inputs = kN;
   cfg.adder_tree_width = w;
   cfg.software_precision = 28;
-  cfg.multi_cycle = w < 38;
-  cfg.skip_empty_bands = true;
-  Ipu ipu(cfg);
+  // Single-cycle once the window covers every unmasked shift; the spatial
+  // window must additionally cover the 14-bit nibble-significance span.
+  const int single_cycle_w =
+      scheme == DecompositionScheme::kSpatial ? 38 + 14
+      : scheme == DecompositionScheme::kSerial ? 41
+                                               : 38;
+  cfg.multi_cycle = w < single_cycle_w;
+  cfg.skip_empty_bands = scheme != DecompositionScheme::kSerial;
+  auto dp = make_datapath(cfg);
+  int64_t cycles = 0;
   for (int t = 0; t < kTrials; ++t) {
-    ipu.reset_accumulator();
-    ipu.fp_accumulate<kFp16Format>(draw_op(rng, backward), draw_op(rng, backward));
+    cycles += dp->dot(draw_op(rng, backward), draw_op(rng, backward)).cycles;
   }
-  return {static_cast<double>(ipu.stats().cycles) / kTrials, kN};
-}
-
-SchemeResult run_serial(int w, bool backward, uint64_t seed) {
-  Rng rng(seed);
-  SerialIpuConfig cfg;
-  cfg.n_inputs = kN;
-  cfg.adder_tree_width = std::max(w, 13);
-  cfg.software_precision = 28;
-  cfg.multi_cycle = w < 41;
-  SerialIpu ipu(cfg);
-  for (int t = 0; t < kTrials; ++t) {
-    ipu.reset_accumulator();
-    ipu.fp_accumulate(draw_op(rng, backward), draw_op(rng, backward));
-  }
-  // A 12x1 lane is ~1/5 the area of a 5x5 multiplier; count lane-cost
-  // equivalents so throughput-per-area is comparable.
-  return {static_cast<double>(ipu.stats().cycles) / kTrials, kN};
-}
-
-SchemeResult run_spatial(int w, bool backward, uint64_t seed) {
-  Rng rng(seed);
-  SpatialIpuConfig cfg;
-  cfg.n_inputs = kN;
-  cfg.adder_tree_width = w;
-  cfg.software_precision = 28;
-  cfg.multi_cycle = w < 38 + 14;  // window must cover significance span too
-  SpatialIpu ipu(cfg);
-  for (int t = 0; t < kTrials; ++t) {
-    ipu.reset_accumulator();
-    ipu.fp_accumulate<kFp16Format>(draw_op(rng, backward), draw_op(rng, backward));
-  }
-  return {static_cast<double>(ipu.stats().cycles) / kTrials,
-          kN * SpatialIpu::multipliers_per_input<kFp16Format>()};
+  return {static_cast<double>(cycles) / kTrials, dp->multipliers(),
+          cfg.effective_adder_tree_width()};
 }
 
 }  // namespace
@@ -100,26 +80,25 @@ int main() {
     bench::Table t({"scheme", "w", "multipliers", "avg cycles/op",
                     "ops/cycle/multiplier (x1e-3)"});
     for (int w : {16, 28, 38}) {
-      const auto tp = run_temporal(w, backward, 0xD1);
-      t.add_row({"temporal (nibble)", std::to_string(w), std::to_string(tp.multipliers),
-                 bench::fmt(tp.avg_cycles, 1),
-                 bench::fmt(1000.0 / (tp.avg_cycles * tp.multipliers), 2)});
-      const auto se = run_serial(w, backward, 0xD2);
-      t.add_row({"serial (12x1)", std::to_string(std::max(w, 13)),
-                 std::to_string(se.multipliers), bench::fmt(se.avg_cycles, 1),
-                 bench::fmt(1000.0 / (se.avg_cycles * se.multipliers), 2) +
-                     "  (cheap lanes)"});
-      const auto sp = run_spatial(w, backward, 0xD3);
-      t.add_row({"spatial (9 lanes)", std::to_string(w), std::to_string(sp.multipliers),
-                 bench::fmt(sp.avg_cycles, 1),
-                 bench::fmt(1000.0 / (sp.avg_cycles * sp.multipliers), 2)});
+      uint64_t seed = 0xD1;
+      for (auto scheme : {DecompositionScheme::kTemporal,
+                          DecompositionScheme::kSerial,
+                          DecompositionScheme::kSpatial}) {
+        const auto r = run_scheme(scheme, w, backward, seed++);
+        const char* extra =
+            scheme == DecompositionScheme::kSerial ? "  (cheap lanes)" : "";
+        t.add_row({scheme_name(scheme), std::to_string(r.effective_w),
+                   std::to_string(r.multipliers), bench::fmt(r.avg_cycles, 1),
+                   bench::fmt(1000.0 / (r.avg_cycles * r.multipliers), 2) +
+                       extra});
+      }
     }
     t.print();
   }
 
   std::printf("\nObservations:\n");
-  std::printf("  * all three schemes compute bit-identical results (see\n");
-  std::printf("    tests/test_spatial_ipu.cpp, tests/test_serial_ipu.cpp);\n");
+  std::printf("  * all three schemes share one DatapathConfig entry point and\n");
+  std::printf("    compute bit-identical results (tests/test_datapath.cpp);\n");
   std::printf("  * temporal wins ops/cycle/multiplier at narrow adder trees;\n");
   std::printf("  * spatial needs wider windows (significance span rides on top of\n");
   std::printf("    the alignment) but minimizes latency per op;\n");

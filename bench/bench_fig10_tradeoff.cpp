@@ -51,7 +51,7 @@ int main() {
     bench::section(big ? "16-input MC-IPUs" : "8-input MC-IPUs");
     std::vector<Point> points;
     DesignConfig noopt = big ? nvdla_like_design() : proposed_design(38, 32, false);
-    noopt.tile.ipu.multi_cycle = false;
+    noopt.tile.datapath.multi_cycle = false;
 
     bench::Table t({"(p,c)", "TOPS/mm2 (INT4)", "TOPS/W (INT4)", "TFLOPS/mm2 (eff)",
                     "TFLOPS/W (eff)"});

@@ -28,7 +28,7 @@ void breakdown_table(bool big) {
   }
   {
     DesignConfig d = proposed_design(38, big ? 64 : 32, big);
-    d.tile.ipu.multi_cycle = false;
+    d.tile.datapath.multi_cycle = false;
     d.name = "38b (NVDLA-like)";
     rows.push_back({"38b (NVDLA-like)", d});
   }

@@ -25,8 +25,8 @@ namespace {
 double fp_inflation(const DesignConfig& d, const SimOptions& opts,
                     std::map<int, double>& cache) {
   if (!d.fp_support) return 1.0;
-  if (!d.tile.ipu.multi_cycle) return 1.0;
-  const int w = d.tile.ipu.adder_tree_width;
+  if (!d.tile.datapath.multi_cycle) return 1.0;
+  const int w = d.tile.datapath.adder_tree_width;
   const auto it = cache.find(w);
   if (it != cache.end()) return it->second;
   double total = 0.0;
@@ -63,7 +63,7 @@ int main() {
   for (const auto& d : designs) {
     meta.add_row({d.name,
                   std::to_string(d.mult_a_payload) + "x" + std::to_string(d.mult_b_payload),
-                  std::to_string(d.tile.ipu.adder_tree_width) + "b",
+                  std::to_string(d.tile.datapath.adder_tree_width) + "b",
                   d.fp_support ? std::to_string(d.fp16_units_per_mac) : "-",
                   d.fp_support ? bench::fmt(fp_inflation(d, opts, inflation_cache), 2)
                                : "-"});

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   for (int w : {12, 14, 16, 20, 24, 28, 38}) {
     for (int cluster : {1, 2, 4, 16, 64}) {
       DesignConfig d = proposed_design(w, cluster, /*big=*/true);
-      if (w >= 38) d.tile.ipu.multi_cycle = false;
+      if (w >= 38) d.tile.datapath.multi_cycle = false;
       const auto run = simulate_network(net, d.tile, opts);
       const double slowdown = run.normalized_to(base_run);
       Candidate c;

@@ -25,15 +25,14 @@ struct LayerPlan {
   ConvSpec spec;
 };
 
-Tensor run_layer(const LayerPlan& plan, const Tensor& input, const IpuConfig& ipu,
-                 IpuConvStats* stats) {
+Tensor run_layer(const LayerPlan& plan, const Tensor& input, ConvEngine& engine) {
   const std::string p = plan.precision;
   if (p == "fp16") {
-    return conv_ipu_fp16(input.rounded_to_fp16(), plan.filters.rounded_to_fp16(),
-                         plan.spec, ipu, AccumKind::kFp32, stats);
+    return engine.conv_fp16(input.rounded_to_fp16(), plan.filters.rounded_to_fp16(),
+                            plan.spec);
   }
   const int bits = p == "int8" ? 8 : 4;
-  return conv_ipu_int(input, plan.filters, plan.spec, ipu, bits, bits, stats);
+  return engine.conv_int(input, plan.filters, plan.spec, bits, bits);
 }
 
 }  // namespace
@@ -57,22 +56,31 @@ int main() {
                    random_filters(rng, 10, 24, 1, 1, ValueDist::kNormal, 0.2),
                    ConvSpec{}});
 
-  IpuConfig ipu;
-  ipu.n_inputs = 16;
-  ipu.adder_tree_width = 16;
-  ipu.software_precision = 28;
-  ipu.multi_cycle = true;
+  // One unified datapath config serves every layer; swap `scheme` to run
+  // the whole net on the serial or spatial decomposition instead.
+  ConvEngineConfig ec;
+  ec.datapath.scheme = DecompositionScheme::kTemporal;
+  ec.datapath.n_inputs = 16;
+  ec.datapath.adder_tree_width = 16;
+  ec.datapath.software_precision = 28;
+  ec.datapath.multi_cycle = true;
+  ec.accum = AccumKind::kFp32;
+  ec.threads = 0;  // hardware_concurrency
+  ConvEngine engine(ec);
 
   std::printf("%-18s %-6s %12s %12s %10s\n", "layer", "prec", "SNR vs FP32", "max |err|",
               "cycles");
   Tensor x = input, x_ref = input;
+  int64_t cycles_before = 0;
   for (const auto& plan : plans) {
-    IpuConvStats stats;
-    const Tensor y = relu(run_layer(plan, x, ipu, &stats));
+    const Tensor y = relu(run_layer(plan, x, engine));
     const Tensor y_ref = relu(conv_reference(x_ref, plan.filters, plan.spec));
     const AgreementStats agree = compare_outputs(y, y_ref);
+    const int64_t cycles_now = engine.stats().cycles;
     std::printf("%-18s %-6s %9.1f dB %12.2e %10lld\n", plan.name.c_str(), plan.precision,
-                agree.snr_db, agree.max_abs_err, static_cast<long long>(stats.cycles));
+                agree.snr_db, agree.max_abs_err,
+                static_cast<long long>(cycles_now - cycles_before));
+    cycles_before = cycles_now;
     x = y;
     x_ref = y_ref;
   }

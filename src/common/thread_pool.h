@@ -1,0 +1,115 @@
+// Fixed-size thread pool with a deterministic parallel-for.
+//
+// Workers are started once and reused across calls; `parallel_for` splits
+// an index range into one contiguous slice per worker slot so the work a
+// slot executes depends only on (range, pool size) -- never on scheduling.
+// Slot 0 runs on the calling thread, so a pool of size 1 adds no threading
+// overhead at all (the body runs inline) and results are trivially
+// identical to a sequential loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpipu {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads) {
+    if (num_threads <= 0) {
+      num_threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (num_threads <= 0) num_threads = 1;
+    }
+    size_ = num_threads;
+    workers_.reserve(static_cast<size_t>(size_ - 1));
+    for (int slot = 1; slot < size_; ++slot) {
+      workers_.emplace_back([this, slot] { worker_loop(slot); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Run `body(begin, end, slot)` over a static partition of [0, total):
+  /// slot s gets the contiguous slice [s*total/size, (s+1)*total/size).
+  /// Blocks until every slice is done.  Slot 0 executes on the caller.
+  void parallel_for(int64_t total,
+                    const std::function<void(int64_t, int64_t, int)>& body) {
+    if (total <= 0) return;
+    if (size_ == 1) {
+      body(0, total, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &body;
+      job_total_ = total;
+      pending_ = size_ - 1;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    run_slice(total, 0, body);
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void run_slice(int64_t total, int slot,
+                 const std::function<void(int64_t, int64_t, int)>& body) {
+    const int64_t begin = total * slot / size_;
+    const int64_t end = total * (slot + 1) / size_;
+    if (begin < end) body(begin, end, slot);
+  }
+
+  void worker_loop(int slot) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int64_t, int64_t, int)>* job = nullptr;
+      int64_t total = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        total = job_total_;
+      }
+      run_slice(total, slot, *job);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) work_done_.notify_all();
+      }
+    }
+  }
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int64_t, int64_t, int)>* job_ = nullptr;
+  int64_t job_total_ = 0;
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mpipu

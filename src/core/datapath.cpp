@@ -1,0 +1,263 @@
+#include "core/datapath.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ipu.h"
+#include "core/nibble.h"
+#include "core/serial_ipu.h"
+#include "core/spatial_ipu.h"
+
+namespace mpipu {
+
+const char* scheme_name(DecompositionScheme s) {
+  switch (s) {
+    case DecompositionScheme::kTemporal: return "temporal";
+    case DecompositionScheme::kSerial: return "serial";
+    case DecompositionScheme::kSpatial: return "spatial";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Temporal: wraps Ipu (nibble iterations).
+// ---------------------------------------------------------------------------
+
+class TemporalDatapath final : public Datapath {
+ public:
+  explicit TemporalDatapath(const DatapathConfig& cfg)
+      : Datapath(cfg), ipu_(to_ipu_config(cfg)) {}
+
+  static IpuConfig to_ipu_config(const DatapathConfig& cfg) {
+    IpuConfig c;
+    c.n_inputs = cfg.n_inputs;
+    c.adder_tree_width = cfg.effective_adder_tree_width();
+    c.software_precision = cfg.software_precision;
+    c.multi_cycle = cfg.multi_cycle;
+    c.skip_empty_bands = cfg.skip_empty_bands;
+    c.skip_zero_iterations = cfg.skip_zero_iterations;
+    c.accumulator = cfg.accumulator;
+    return c;
+  }
+
+  int multipliers() const override { return cfg_.n_inputs; }
+  void reset_accumulator() override { ipu_.reset_accumulator(); }
+  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) override {
+    return ipu_.fp_accumulate<kFp16Format>(a, b);
+  }
+  FixedPoint read_raw() const override { return ipu_.read_raw(); }
+  bool supports_int(int a_bits, int b_bits) const override {
+    return a_bits >= 2 && b_bits >= 2 && a_bits <= 4 * kMaxNibbles &&
+           b_bits <= 4 * kMaxNibbles;
+  }
+  int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
+                     int a_bits, int b_bits) override {
+    return ipu_.int_accumulate(a, b, a_bits, b_bits);
+  }
+  int64_t read_int() const override { return ipu_.read_int(); }
+  DatapathStats stats() const override {
+    const IpuStats& s = ipu_.stats();
+    DatapathStats d;
+    d.fp_ops = s.fp_ops;
+    d.int_ops = s.int_ops;
+    d.cycles = s.cycles;
+    d.nibble_iterations = s.nibble_iterations;
+    d.masked_products = s.masked_products;
+    d.multi_cycle_ops = s.multi_cycle_iterations;
+    d.skipped_iterations = s.skipped_iterations;
+    return d;
+  }
+
+ private:
+  Ipu ipu_;
+};
+
+// ---------------------------------------------------------------------------
+// Serial: wraps SerialIpu (bit-serial weights, 12x1 lanes).
+// ---------------------------------------------------------------------------
+
+class SerialDatapath final : public Datapath {
+ public:
+  explicit SerialDatapath(const DatapathConfig& cfg)
+      : Datapath(cfg), ipu_(to_serial_config(cfg)) {}
+
+  static SerialIpuConfig to_serial_config(const DatapathConfig& cfg) {
+    SerialIpuConfig c;
+    c.n_inputs = cfg.n_inputs;
+    c.adder_tree_width = cfg.effective_adder_tree_width();
+    c.software_precision = cfg.software_precision;
+    c.multi_cycle = cfg.multi_cycle;
+    c.accumulator = cfg.accumulator;
+    return c;
+  }
+
+  int multipliers() const override { return cfg_.n_inputs; }
+  void reset_accumulator() override { ipu_.reset_accumulator(); }
+  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) override {
+    return ipu_.fp_accumulate(a, b);
+  }
+  FixedPoint read_raw() const override { return ipu_.read_raw(); }
+  bool supports_int(int a_bits, int b_bits) const override {
+    // Full-parallel multiplicand is a 12-bit lane; b streams bit-serially.
+    return a_bits >= 2 && b_bits >= 2 && a_bits <= 12 && b_bits <= 32;
+  }
+  int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
+                     int a_bits, int b_bits) override {
+    return ipu_.int_accumulate(a, b, a_bits, b_bits);
+  }
+  int64_t read_int() const override { return ipu_.read_int(); }
+  DatapathStats stats() const override {
+    const SerialIpuStats& s = ipu_.stats();
+    DatapathStats d;
+    d.fp_ops = s.fp_ops;
+    d.int_ops = s.int_ops;
+    d.cycles = s.cycles;
+    return d;
+  }
+
+ private:
+  SerialIpu ipu_;
+};
+
+// ---------------------------------------------------------------------------
+// Spatial: wraps SpatialIpu (all nibble products in parallel).
+// ---------------------------------------------------------------------------
+
+class SpatialDatapath final : public Datapath {
+ public:
+  explicit SpatialDatapath(const DatapathConfig& cfg)
+      : Datapath(cfg), ipu_(to_spatial_config(cfg)) {}
+
+  static SpatialIpuConfig to_spatial_config(const DatapathConfig& cfg) {
+    SpatialIpuConfig c;
+    c.n_inputs = cfg.n_inputs;
+    c.adder_tree_width = cfg.effective_adder_tree_width();
+    c.software_precision = cfg.software_precision;
+    c.multi_cycle = cfg.multi_cycle;
+    c.skip_empty_bands = cfg.skip_empty_bands;
+    c.accumulator = cfg.accumulator;
+    return c;
+  }
+
+  int multipliers() const override {
+    return cfg_.n_inputs * SpatialIpu::multipliers_per_input<kFp16Format>();
+  }
+  void reset_accumulator() override { ipu_.reset_accumulator(); }
+  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) override {
+    return ipu_.fp_accumulate<kFp16Format>(a, b);
+  }
+  FixedPoint read_raw() const override { return ipu_.read_raw(); }
+  bool supports_int(int, int) const override { return false; }
+  // Hard aborts (not asserts): in a Release build a silent 0 here would
+  // masquerade as a valid INT result.
+  int int_accumulate(std::span<const int32_t>, std::span<const int32_t>, int,
+                     int) override {
+    std::fprintf(stderr, "Datapath: spatial scheme is FP-only\n");
+    std::abort();
+  }
+  int64_t read_int() const override {
+    std::fprintf(stderr, "Datapath: spatial scheme is FP-only\n");
+    std::abort();
+  }
+  DatapathStats stats() const override {
+    const SpatialIpuStats& s = ipu_.stats();
+    DatapathStats d;
+    d.fp_ops = s.fp_ops;
+    d.cycles = s.cycles;
+    d.multi_cycle_ops = s.multi_cycle_ops;
+    return d;
+  }
+
+ private:
+  SpatialIpu ipu_;
+};
+
+}  // namespace
+
+std::unique_ptr<Datapath> make_datapath(const DatapathConfig& cfg) {
+  assert(cfg.n_inputs >= 1);
+  switch (cfg.scheme) {
+    case DecompositionScheme::kTemporal:
+      return std::make_unique<TemporalDatapath>(cfg);
+    case DecompositionScheme::kSerial:
+      return std::make_unique<SerialDatapath>(cfg);
+    case DecompositionScheme::kSpatial:
+      return std::make_unique<SpatialDatapath>(cfg);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Scheme-generic tile costing.
+// ---------------------------------------------------------------------------
+
+int fp16_iterations_per_op(DecompositionScheme s) {
+  switch (s) {
+    case DecompositionScheme::kTemporal:
+      return fp_nibble_count(kFp16Format) * fp_nibble_count(kFp16Format);  // 9
+    case DecompositionScheme::kSerial:
+      return kFp16Format.sig_bits() + 1;  // 12 weight-bit steps
+    case DecompositionScheme::kSpatial:
+      return 1;
+  }
+  return 1;
+}
+
+namespace {
+
+/// Static nibble-significance offsets of the spatial scheme's nine FP16
+/// lane products: top_weight - (wi + wj) with wi, wj in {-1, 3, 7}.
+constexpr std::array<int, 9> fp16_spatial_offsets() {
+  constexpr int kn = fp_nibble_count(kFp16Format);
+  constexpr int z = fp_pad_bits(kFp16Format);
+  constexpr int top_weight = 2 * (4 * (kn - 1) - z);
+  std::array<int, 9> offs{};
+  int idx = 0;
+  for (int i = 0; i < kn; ++i) {
+    for (int j = 0; j < kn; ++j) {
+      offs[static_cast<size_t>(idx++)] = top_weight - (4 * i - z) - (4 * j - z);
+    }
+  }
+  return offs;
+}
+
+}  // namespace
+
+int fp16_op_service_cycles(std::span<const int> product_exps,
+                           const DatapathConfig& cfg) {
+  const int iters = fp16_iterations_per_op(cfg.scheme);
+  int max_exp = kMaskedProductExp;
+  for (int e : product_exps) max_exp = std::max(max_exp, e);
+  if (!cfg.multi_cycle || max_exp == kMaskedProductExp) return iters;
+
+  const int sp = std::max(cfg.safe_precision(), 1);
+  const bool spatial = cfg.scheme == DecompositionScheme::kSpatial;
+  static constexpr std::array<int, 9> kSpatialOffsets = fp16_spatial_offsets();
+
+  uint64_t occupied = 0;  // bit b set <=> band b occupied
+  for (int e : product_exps) {
+    if (e == kMaskedProductExp) continue;
+    const int d = max_exp - e;
+    if (d > cfg.software_precision) continue;
+    if (spatial) {
+      for (int off : kSpatialOffsets) {
+        occupied |= uint64_t{1} << std::min((d + off) / sp, 63);
+      }
+    } else {
+      occupied |= uint64_t{1} << std::min(d / sp, 63);
+    }
+  }
+  int bands;
+  if (cfg.skip_empty_bands) {
+    bands = std::max(1, __builtin_popcountll(occupied));
+  } else {
+    bands = occupied == 0 ? 1 : 64 - __builtin_clzll(occupied);
+  }
+  return iters * bands;
+}
+
+}  // namespace mpipu

@@ -51,7 +51,7 @@ GateBreakdown tile_gates(const DesignConfig& d) {
   const int n = t.c_unroll;
   const int ipus = t.ipus_per_tile();
   const int mults = t.multipliers_per_tile();
-  const int w = t.ipu.adder_tree_width;
+  const int w = t.datapath.effective_adder_tree_width();
 
   GateBreakdown g;
   g.mult = mults * kMultGatesPerBitPair * (d.mult_a_payload + 1) * (d.mult_b_payload + 1);
@@ -59,15 +59,15 @@ GateBreakdown tile_gates(const DesignConfig& d) {
   g.adder_tree = ipus * kAdderGatesPerBit * (n - 1) * (w + 2);
   if (d.fp_support) {
     g.shifter = mults * kShifterGatesPerBitStage * w * ceil_log2i(w + 1);
-    const int acc_bits = 3 + t.ipu.accumulator.frac_bits + t.ipu.accumulator.t +
-                         t.ipu.accumulator.l;
+    const int acc_bits = 3 + t.datapath.accumulator.frac_bits + t.datapath.accumulator.t +
+                         t.datapath.accumulator.l;
     g.accumulator = ipus * kFpAccGatesPerBit * acc_bits;
     // One EHU serves ~9 IPUs: its result is reused across all nine nibble
     // iterations of an FP16 op (paper §2.2), independent of clustering.
     g.ehu = ((ipus + 8) / 9) * kEhuGatesPerLane * n;
   } else {
     g.shifter = 0.0;
-    const int acc_bits = 33 + t.ipu.accumulator.t + t.ipu.accumulator.l;
+    const int acc_bits = 33 + t.datapath.accumulator.t + t.datapath.accumulator.l;
     g.accumulator = ipus * kIntAccGatesPerBit * acc_bits;
     g.ehu = 0.0;
   }
@@ -148,7 +148,7 @@ DesignConfig int_only_design(bool big) {
   DesignConfig d;
   d.name = "int-only";
   d.tile = big ? big_tile(12, 0, 64) : small_tile(12, 0, 32);
-  d.tile.ipu.multi_cycle = false;
+  d.tile.datapath.multi_cycle = false;
   d.fp_support = false;
   d.fp16_units_per_mac = 0;
   return d;
@@ -157,7 +157,7 @@ DesignConfig int_only_design(bool big) {
 DesignConfig nvdla_like_design() {
   DesignConfig d = proposed_design(38, 64, /*big=*/true);
   d.name = "baseline-38b";
-  d.tile.ipu.multi_cycle = false;
+  d.tile.datapath.multi_cycle = false;
   return d;
 }
 
@@ -168,7 +168,7 @@ DesignConfig table1_base(std::string name, int pa, int pb, int adt, bool fp,
   DesignConfig d;
   d.name = std::move(name);
   d.tile = big_tile(adt, 28, 64);
-  d.tile.ipu.multi_cycle = fp && adt < 38;
+  d.tile.datapath.multi_cycle = fp && adt < 38;
   d.mult_a_payload = pa;
   d.mult_b_payload = pb;
   d.fp_support = fp;

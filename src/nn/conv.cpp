@@ -46,69 +46,30 @@ Tensor conv_reference(const Tensor& input, const FilterBank& filters,
   return out;
 }
 
-namespace {
-
-/// Gather one output pixel's operand stream in chunks of at most n values,
-/// invoking `emit(a_chunk, b_chunk)` per chunk.
-template <typename Emit>
-void for_each_chunk(const Tensor& input, const FilterBank& filters, const ConvSpec& spec,
-                    int co, int y, int x, int n, Emit&& emit) {
-  std::vector<double> a, b;
-  a.reserve(static_cast<size_t>(n));
-  b.reserve(static_cast<size_t>(n));
-  auto flush = [&] {
-    if (!a.empty()) {
-      emit(a, b);
-      a.clear();
-      b.clear();
-    }
-  };
-  for (int ky = 0; ky < filters.kh; ++ky) {
-    for (int kx = 0; kx < filters.kw; ++kx) {
-      const int iy = y * spec.stride + ky - spec.pad;
-      const int ix = x * spec.stride + kx - spec.pad;
-      if (iy < 0 || iy >= input.h || ix < 0 || ix >= input.w) continue;
-      for (int ci = 0; ci < input.c; ++ci) {
-        a.push_back(input.at(ci, iy, ix));
-        b.push_back(filters.at(co, ci, ky, kx));
-        if (static_cast<int>(a.size()) == n) flush();
-      }
-    }
-  }
-  flush();
+DatapathConfig datapath_config_from_ipu(const IpuConfig& cfg) {
+  DatapathConfig d;
+  d.scheme = DecompositionScheme::kTemporal;
+  d.n_inputs = cfg.n_inputs;
+  d.adder_tree_width = cfg.adder_tree_width;
+  d.software_precision = cfg.software_precision;
+  d.multi_cycle = cfg.multi_cycle;
+  d.skip_empty_bands = cfg.skip_empty_bands;
+  d.skip_zero_iterations = cfg.skip_zero_iterations;
+  d.accumulator = cfg.accumulator;
+  return d;
 }
-
-}  // namespace
 
 Tensor conv_ipu_fp16(const Tensor& input, const FilterBank& filters, const ConvSpec& spec,
                      const IpuConfig& ipu_cfg, AccumKind accum, IpuConvStats* stats) {
-  assert(input.c == filters.cin);
-  const int ho = spec.out_dim(input.h, filters.kh);
-  const int wo = spec.out_dim(input.w, filters.kw);
-  Tensor out(filters.cout, ho, wo);
-  Ipu ipu(ipu_cfg);
-  std::vector<Fp16> fa, fb;
-  for (int co = 0; co < filters.cout; ++co) {
-    for (int y = 0; y < ho; ++y) {
-      for (int x = 0; x < wo; ++x) {
-        ipu.reset_accumulator();
-        for_each_chunk(input, filters, spec, co, y, x, ipu_cfg.n_inputs,
-                       [&](const std::vector<double>& a, const std::vector<double>& b) {
-                         fa.clear();
-                         fb.clear();
-                         for (double v : a) fa.push_back(Fp16::from_double(v));
-                         for (double v : b) fb.push_back(Fp16::from_double(v));
-                         ipu.fp_accumulate<kFp16Format>(fa, fb);
-                       });
-        out.at(co, y, x) = accum == AccumKind::kFp16
-                               ? ipu.read_fp<kFp16Format>().to_double()
-                               : ipu.read_fp<kFp32Format>().to_double();
-      }
-    }
-  }
+  ConvEngineConfig ec;
+  ec.datapath = datapath_config_from_ipu(ipu_cfg);
+  ec.accum = accum;
+  ec.threads = 1;
+  ConvEngine engine(ec);
+  Tensor out = engine.conv_fp16(input, filters, spec);
   if (stats != nullptr) {
-    stats->fp_ops = ipu.stats().fp_ops;
-    stats->cycles = ipu.stats().cycles;
+    stats->fp_ops = engine.stats().fp_ops;
+    stats->cycles = engine.stats().cycles;
   }
   return out;
 }
@@ -116,31 +77,14 @@ Tensor conv_ipu_fp16(const Tensor& input, const FilterBank& filters, const ConvS
 Tensor conv_ipu_int(const Tensor& input, const FilterBank& filters, const ConvSpec& spec,
                     const IpuConfig& ipu_cfg, int a_bits, int w_bits,
                     IpuConvStats* stats) {
-  assert(input.c == filters.cin);
-  const QuantParams qa = fit_symmetric(input.data, a_bits);
-  const QuantParams qw = fit_symmetric(filters.data, w_bits);
-  const int ho = spec.out_dim(input.h, filters.kh);
-  const int wo = spec.out_dim(input.w, filters.kw);
-  Tensor out(filters.cout, ho, wo);
-  Ipu ipu(ipu_cfg);
-  std::vector<int32_t> ia, ib;
-  for (int co = 0; co < filters.cout; ++co) {
-    for (int y = 0; y < ho; ++y) {
-      for (int x = 0; x < wo; ++x) {
-        ipu.reset_accumulator();
-        for_each_chunk(input, filters, spec, co, y, x, ipu_cfg.n_inputs,
-                       [&](const std::vector<double>& a, const std::vector<double>& b) {
-                         ia = quantize(a, qa);
-                         ib = quantize(b, qw);
-                         ipu.int_accumulate(ia, ib, a_bits, w_bits);
-                       });
-        out.at(co, y, x) = dequantize_accumulator(ipu.read_int(), qa, qw);
-      }
-    }
-  }
+  ConvEngineConfig ec;
+  ec.datapath = datapath_config_from_ipu(ipu_cfg);
+  ec.threads = 1;
+  ConvEngine engine(ec);
+  Tensor out = engine.conv_int(input, filters, spec, a_bits, w_bits);
   if (stats != nullptr) {
-    stats->fp_ops = ipu.stats().int_ops;
-    stats->cycles = ipu.stats().cycles;
+    stats->fp_ops = engine.stats().int_ops;
+    stats->cycles = engine.stats().cycles;
   }
   return out;
 }

@@ -1,11 +1,17 @@
-// Convolution executors: an exact host-double reference ("FP32 CPU") and a
-// bit-accurate path that runs every inner product through the IPU datapath.
+// Convolution executors: an exact host-double reference ("FP32 CPU") and
+// bit-accurate paths that run every inner product through the datapath.
 // Used by the §3.1 end-to-end agreement study and the examples.
+//
+// conv_ipu_fp16 / conv_ipu_int / dgrad_ipu_fp16 are retained for API
+// compatibility as thin single-threaded wrappers over the scheme-generic
+// ConvEngine (nn/conv_engine.h) configured for the temporal scheme; new
+// code should drive ConvEngine directly.
 #pragma once
 
 #include <cstdint>
 
 #include "core/ipu.h"
+#include "nn/conv_engine.h"
 #include "nn/tensor.h"
 #include "workload/quantizer.h"
 
@@ -23,8 +29,10 @@ struct ConvSpec {
 Tensor conv_reference(const Tensor& input, const FilterBank& filters,
                       const ConvSpec& spec);
 
-/// Accumulation destination for the FP16 datapath convolution.
-enum class AccumKind { kFp16, kFp32 };
+/// Map the temporal scheme's IpuConfig onto the unified datapath config
+/// (used by the legacy wrappers below and anything else still holding an
+/// IpuConfig).
+DatapathConfig datapath_config_from_ipu(const IpuConfig& cfg);
 
 struct IpuConvStats {
   int64_t fp_ops = 0;

@@ -1,0 +1,180 @@
+#include "nn/conv_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/conv.h"
+#include "workload/quantizer.h"
+
+namespace mpipu {
+
+namespace {
+
+/// Patch geometry of one output pixel: for every in-bounds kernel tap, the
+/// flat input index and the offset inside one output channel's filter
+/// block, in the canonical ky -> kx -> ci gather order (the same order the
+/// legacy single-threaded loop streamed operands in, so results stay
+/// bit-identical).
+struct PatchIndices {
+  std::vector<int32_t> input;       ///< flat index into CHW input data
+  std::vector<int32_t> filter_off;  ///< offset inside a [ci][kh][kw] block
+
+  void build(const Tensor& input_t, const FilterBank& f, const ConvSpec& spec,
+             int y, int x) {
+    input.clear();
+    filter_off.clear();
+    for (int ky = 0; ky < f.kh; ++ky) {
+      for (int kx = 0; kx < f.kw; ++kx) {
+        const int iy = y * spec.stride + ky - spec.pad;
+        const int ix = x * spec.stride + kx - spec.pad;
+        if (iy < 0 || iy >= input_t.h || ix < 0 || ix >= input_t.w) continue;
+        for (int ci = 0; ci < input_t.c; ++ci) {
+          input.push_back(
+              static_cast<int32_t>((static_cast<size_t>(ci) * input_t.h + iy) *
+                                       static_cast<size_t>(input_t.w) +
+                                   ix));
+          filter_off.push_back(static_cast<int32_t>(
+              (static_cast<size_t>(ci) * f.kh + ky) * static_cast<size_t>(f.kw) +
+              kx));
+        }
+      }
+    }
+  }
+
+  int size() const { return static_cast<int>(input.size()); }
+};
+
+/// The shared conv driver: gather each output pixel's operand stream from
+/// pre-converted element buffers (the im2col batching), chunk it through a
+/// per-slot datapath, and read one value per (co, y, x).  `accumulate` runs
+/// one chunk on the datapath; `readout` extracts the finished pixel.
+template <typename T, typename AccumulateFn, typename ReadoutFn>
+Tensor run_conv(ThreadPool& pool, std::vector<std::unique_ptr<Datapath>>& units,
+                int n_inputs, const Tensor& input, const FilterBank& filters,
+                const ConvSpec& spec, const std::vector<T>& in_vals,
+                const std::vector<T>& flt_vals, AccumulateFn&& accumulate,
+                ReadoutFn&& readout) {
+  assert(input.c == filters.cin);
+  const int ho = spec.out_dim(input.h, filters.kh);
+  const int wo = spec.out_dim(input.w, filters.kw);
+  Tensor out(filters.cout, ho, wo);
+  const size_t filter_block =
+      static_cast<size_t>(filters.cin) * filters.kh * filters.kw;
+
+  pool.parallel_for(
+      static_cast<int64_t>(ho) * wo, [&](int64_t begin, int64_t end, int slot) {
+        Datapath& dp = *units[static_cast<size_t>(slot)];
+        PatchIndices patch;
+        std::vector<T> pa, pb;
+        for (int64_t p = begin; p < end; ++p) {
+          const int y = static_cast<int>(p / wo);
+          const int x = static_cast<int>(p % wo);
+          patch.build(input, filters, spec, y, x);
+          const int len = patch.size();
+          pa.resize(static_cast<size_t>(len));
+          pb.resize(static_cast<size_t>(len));
+          for (int t = 0; t < len; ++t) {
+            pa[static_cast<size_t>(t)] =
+                in_vals[static_cast<size_t>(patch.input[static_cast<size_t>(t)])];
+          }
+          for (int co = 0; co < filters.cout; ++co) {
+            const size_t base = static_cast<size_t>(co) * filter_block;
+            for (int t = 0; t < len; ++t) {
+              pb[static_cast<size_t>(t)] =
+                  flt_vals[base + static_cast<size_t>(
+                                      patch.filter_off[static_cast<size_t>(t)])];
+            }
+            dp.reset_accumulator();
+            for (int c0 = 0; c0 < len; c0 += n_inputs) {
+              const size_t chunk =
+                  static_cast<size_t>(std::min(n_inputs, len - c0));
+              accumulate(dp,
+                         std::span<const T>(pa).subspan(static_cast<size_t>(c0), chunk),
+                         std::span<const T>(pb).subspan(static_cast<size_t>(c0), chunk));
+            }
+            out.at(co, y, x) = readout(dp);
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+ConvEngine::ConvEngine(const ConvEngineConfig& cfg)
+    : cfg_(cfg), pool_(cfg.threads) {
+  units_.reserve(static_cast<size_t>(pool_.size()));
+  for (int slot = 0; slot < pool_.size(); ++slot) {
+    units_.push_back(make_datapath(cfg_.datapath));
+  }
+}
+
+Tensor ConvEngine::conv_fp16(const Tensor& input, const FilterBank& filters,
+                             const ConvSpec& spec) {
+  // im2col-style batching: round each tensor to FP16 exactly once.  The
+  // legacy loop re-converted every input element for every output pixel
+  // that touched it (kh*kw times on average).
+  std::vector<Fp16> in16(input.data.size());
+  for (size_t i = 0; i < input.data.size(); ++i) {
+    in16[i] = Fp16::from_double(input.data[i]);
+  }
+  std::vector<Fp16> flt16(filters.data.size());
+  for (size_t i = 0; i < filters.data.size(); ++i) {
+    flt16[i] = Fp16::from_double(filters.data[i]);
+  }
+
+  const bool to_fp16 = cfg_.accum == AccumKind::kFp16;
+  return run_conv<Fp16>(
+      pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in16, flt16,
+      [](Datapath& dp, std::span<const Fp16> a, std::span<const Fp16> b) {
+        dp.fp16_accumulate(a, b);
+      },
+      [to_fp16](Datapath& dp) {
+        return to_fp16 ? dp.read_fp16().to_double() : dp.read_fp32().to_double();
+      });
+}
+
+Tensor ConvEngine::conv_int(const Tensor& input, const FilterBank& filters,
+                            const ConvSpec& spec, int a_bits, int w_bits) {
+  // Hard check (not an assert): in a Release build a silently unsupported
+  // scheme would otherwise yield an all-zero tensor with no diagnostic.
+  if (!units_[0]->supports_int(a_bits, w_bits)) {
+    std::fprintf(stderr,
+                 "ConvEngine::conv_int: %s scheme does not support INT%dxINT%d\n",
+                 scheme_name(cfg_.datapath.scheme), a_bits, w_bits);
+    std::abort();
+  }
+  const QuantParams qa = fit_symmetric(input.data, a_bits);
+  const QuantParams qw = fit_symmetric(filters.data, w_bits);
+  const std::vector<int32_t> in_q = quantize(input.data, qa);
+  const std::vector<int32_t> flt_q = quantize(filters.data, qw);
+
+  return run_conv<int32_t>(
+      pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in_q, flt_q,
+      [a_bits, w_bits](Datapath& dp, std::span<const int32_t> a,
+                       std::span<const int32_t> b) {
+        dp.int_accumulate(a, b, a_bits, w_bits);
+      },
+      [&qa, &qw](Datapath& dp) {
+        return dequantize_accumulator(dp.read_int(), qa, qw);
+      });
+}
+
+Tensor ConvEngine::dgrad_fp16(const Tensor& grad_out, const FilterBank& filters,
+                              int fwd_pad) {
+  const FilterBank t = transpose_for_dgrad(filters);
+  ConvSpec spec;
+  spec.stride = 1;
+  spec.pad = filters.kh - 1 - fwd_pad;
+  return conv_fp16(grad_out, t, spec);
+}
+
+DatapathStats ConvEngine::stats() const {
+  DatapathStats total;
+  for (const auto& u : units_) total += u->stats();
+  return total;
+}
+
+}  // namespace mpipu

@@ -1,0 +1,81 @@
+// Scheme-generic, multi-threaded convolution engine.
+//
+// Rebuilds the single-threaded conv_ipu_* loops (src/nn/conv.h) on top of
+// the unified `Datapath` interface so any convolution can run on any
+// decomposition scheme (temporal / serial / spatial) through one config:
+//
+//   * im2col-style batching: inputs and filters are rounded to FP16 (or
+//     quantized to INT) once, per tensor, instead of once per output pixel
+//     that touches them; each output pixel's operand stream is gathered by
+//     precomputed patch indices shared across all output channels;
+//   * a fixed-size thread pool (src/common/thread_pool.h) parallelizes over
+//     output pixels, with one private `Datapath` instance per worker slot;
+//   * statistics reduce deterministically: every counter is a sum (or the
+//     whole-run totals of pixels computed exactly once), so the aggregate
+//     is identical for 1 thread and N threads, as is the output tensor
+//     (each pixel is computed on a freshly reset accumulator).
+//
+// The legacy conv_ipu_fp16 / conv_ipu_int entry points are thin wrappers
+// over this engine with scheme = temporal and threads = 1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/datapath.h"
+#include "nn/tensor.h"
+
+namespace mpipu {
+
+struct ConvSpec;
+
+/// Accumulation destination for the FP16 datapath convolution.
+enum class AccumKind { kFp16, kFp32 };
+
+struct ConvEngineConfig {
+  /// Datapath every worker instantiates (scheme + shared knobs).
+  DatapathConfig datapath{};
+  /// Output rounding: FP16 or FP32 accumulation destination (§3.1).
+  AccumKind accum = AccumKind::kFp32;
+  /// Worker count; <= 0 selects std::thread::hardware_concurrency().
+  int threads = 1;
+};
+
+class ConvEngine {
+ public:
+  explicit ConvEngine(const ConvEngineConfig& cfg);
+
+  const ConvEngineConfig& config() const { return cfg_; }
+  int threads() const { return pool_.size(); }
+
+  /// FP16 convolution: operands rounded to FP16 once, every inner product
+  /// executed on the scheme's datapath, partial sums held in the datapath
+  /// accumulator and rounded to the destination once per output pixel.
+  Tensor conv_fp16(const Tensor& input, const FilterBank& filters,
+                   const ConvSpec& spec);
+
+  /// INT convolution: operands quantized to (a_bits, w_bits) symmetric
+  /// integers, executed in the datapath's INT mode, dequantized on readout.
+  /// Requires config().datapath to support INT at these widths (the
+  /// spatial scheme is FP-only).
+  Tensor conv_int(const Tensor& input, const FilterBank& filters,
+                  const ConvSpec& spec, int a_bits, int w_bits);
+
+  /// Data-gradient convolution through the same datapath (§4.3 workload).
+  Tensor dgrad_fp16(const Tensor& grad_out, const FilterBank& filters,
+                    int fwd_pad);
+
+  /// Stats aggregated over all worker datapaths (deterministic: every
+  /// counter is a sum over pixels, and each pixel is computed exactly once
+  /// regardless of the thread count).
+  DatapathStats stats() const;
+
+ private:
+  ConvEngineConfig cfg_;
+  ThreadPool pool_;
+  /// One private datapath per worker slot (index = slot).
+  std::vector<std::unique_ptr<Datapath>> units_;
+};
+
+}  // namespace mpipu

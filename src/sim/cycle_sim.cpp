@@ -12,34 +12,18 @@ int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
 /// Sentinel for a masked (zero-operand) product: the EHU sees a subnormal
 /// exponent far below every live product, so its alignment always exceeds
 /// the software precision.
-constexpr int kMaskedExp = INT32_MIN / 4;
+constexpr int kMaskedExp = kMaskedProductExp;
 
-/// Service time (cycles) of one FP-IP op on one IPU: iterations x bands.
-/// Per §3.2, products are partitioned by required shift into bands of width
-/// sp and "all products in partition k are added in the same cycle": the op
-/// costs one cycle per *occupied* band (ipu.skip_empty_bands true, the
-/// simulator default) or one per band up to the largest occupied one (the
-/// literal Fig. 5 serve-loop).
-int op_cycles(const std::vector<int>& product_exps, const IpuConfig& ipu,
+/// Service time (cycles) of one FP-IP op on one IPU: iterations x bands,
+/// per the scheme-generic §3.2 banding model of core/datapath.h.  An
+/// explicit iterations_per_op override (e.g. 4 for BF16 nibble ops)
+/// rescales the scheme's base step count.
+int op_cycles(const std::vector<int>& product_exps, const DatapathConfig& dp,
               int iterations_per_op) {
-  int max_exp = kMaskedExp;
-  for (int e : product_exps) max_exp = std::max(max_exp, e);
-  if (!ipu.multi_cycle || max_exp == kMaskedExp) return iterations_per_op;
-  const int sp = ipu.safe_precision();
-  uint64_t occupied = 0;  // bit b set <=> band b occupied (b < 64 always:
-                          // software precision <= 58 and sp >= 1)
-  for (int e : product_exps) {
-    if (e == kMaskedExp) continue;
-    const int d = max_exp - e;
-    if (d <= ipu.software_precision) occupied |= uint64_t{1} << (d / sp);
-  }
-  int bands;
-  if (ipu.skip_empty_bands) {
-    bands = std::max(1, __builtin_popcountll(occupied));
-  } else {
-    bands = occupied == 0 ? 1 : 64 - __builtin_clzll(occupied);
-  }
-  return iterations_per_op * bands;
+  const int cycles = fp16_op_service_cycles(product_exps, dp);
+  const int base = fp16_iterations_per_op(dp.scheme);
+  if (iterations_per_op <= 0 || iterations_per_op == base) return cycles;
+  return cycles / base * iterations_per_op;  // cycles is a multiple of base
 }
 
 }  // namespace
@@ -71,6 +55,9 @@ NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
   const int per_cluster = tile.ipus_per_cluster;
   const int spatial_copies = tile.h_unroll * tile.w_unroll;
   const int B = tile.input_buffer_depth;
+  const int iters_per_op = opts.iterations_per_op > 0
+                               ? opts.iterations_per_op
+                               : fp16_iterations_per_op(tile.datapath.scheme);
 
   for (const auto& layer : net.layers) {
     const int64_t steps_total = layer_broadcast_steps(layer, tile) * layer.repeat;
@@ -122,9 +109,9 @@ NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
             product_exps[static_cast<size_t>(p)] =
                 ae == kMaskedExp ? kMaskedExp : ae + sample_jitter(rng, wgt_jitter);
           }
-          const int cyc = op_cycles(product_exps, tile.ipu, opts.iterations_per_op);
+          const int cyc = op_cycles(product_exps, tile.datapath, iters_per_op);
           service = std::max(service, cyc);
-          iteration_cycles_sum += static_cast<double>(cyc) / opts.iterations_per_op;
+          iteration_cycles_sum += static_cast<double>(cyc) / iters_per_op;
           ++iteration_count;
         }
         const double start =

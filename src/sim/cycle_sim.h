@@ -39,8 +39,9 @@ struct SimOptions {
   /// Exponent pool size per distribution.
   int exponent_pool = 1 << 15;
   uint64_t seed = 0xC0FFEE;
-  /// FP16 operands -> 9 nibble iterations per op.
-  int iterations_per_op = 9;
+  /// Base steps per FP16 op; 0 derives it from the tile's decomposition
+  /// scheme (9 nibble iterations temporal, 12 bit steps serial, 1 spatial).
+  int iterations_per_op = 0;
 };
 
 struct LayerSimResult {

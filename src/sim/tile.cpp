@@ -10,14 +10,14 @@ TileConfig make_tile(std::string name, int c, int k, int w, int precision,
   t.c_unroll = c;
   t.k_unroll = k;
   t.ipus_per_cluster = cluster;
-  t.ipu.n_inputs = c;
-  t.ipu.adder_tree_width = w;
-  t.ipu.software_precision = precision;
-  t.ipu.multi_cycle = w < precision + 10;  // single cycle once the window
-                                           // covers every unmasked shift
+  t.datapath.n_inputs = c;
+  t.datapath.adder_tree_width = w;
+  t.datapath.software_precision = precision;
+  t.datapath.multi_cycle = w < precision + 10;  // single cycle once the window
+                                                // covers every unmasked shift
   // §3.2 partitions: only occupied alignment bands cost cycles.
-  t.ipu.skip_empty_bands = true;
-  t.ipu.accumulator.t = ceil_log2(c);
+  t.datapath.skip_empty_bands = true;
+  t.datapath.accumulator.t = ceil_log2(c);
   return t;
 }
 
@@ -36,14 +36,14 @@ TileConfig big_tile(int adder_tree_width, int software_precision, int ipus_per_c
 TileConfig baseline1() {
   TileConfig t = small_tile(38, 28, 32);
   t.name = "baseline1";
-  t.ipu.multi_cycle = false;
+  t.datapath.multi_cycle = false;
   return t;
 }
 
 TileConfig baseline2() {
   TileConfig t = big_tile(38, 28, 64);
   t.name = "baseline2";
-  t.ipu.multi_cycle = false;
+  t.datapath.multi_cycle = false;
   return t;
 }
 

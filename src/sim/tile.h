@@ -11,7 +11,8 @@
 #include <cassert>
 #include <string>
 
-#include "core/ipu.h"
+#include "common/bits.h"
+#include "core/datapath.h"
 
 namespace mpipu {
 
@@ -27,8 +28,9 @@ struct TileConfig {
   int ipus_per_cluster = 64;
   /// Ops each cluster's private input buffer can hold (§3.3).
   int input_buffer_depth = 8;
-  /// Datapath parameters of every IPU in the tile.
-  IpuConfig ipu{};
+  /// Unified datapath parameters of every IPU in the tile (any
+  /// decomposition scheme; the paper's tiles are temporal).
+  DatapathConfig datapath{};
 
   int ipus_per_tile() const { return k_unroll * h_unroll * w_unroll; }
   int num_clusters() const {

@@ -1,0 +1,345 @@
+// Tests for the unified Datapath interface (core/datapath.h) and the
+// scheme-generic ConvEngine (nn/conv_engine.h):
+//
+//  * wrapping transparency: Datapath::dot bit-matches the directly
+//    constructed Ipu / SerialIpu / SpatialIpu on values AND cycles;
+//  * cross-scheme agreement: with an exact accumulator and MC banding all
+//    three schemes reproduce reference.h's exact inner product bit for bit
+//    (the §5 orthogonality claim at the value level);
+//  * the scheme-generic service-cycle model used for tile costing matches
+//    the cycles the bit-accurate units actually report;
+//  * ConvEngine determinism: 1 thread and N threads produce identical
+//    tensors and identical aggregate stats, and match the legacy
+//    single-threaded conv_ipu_* wrappers;
+//  * ThreadPool partition correctness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/datapath.h"
+#include "core/ipu.h"
+#include "core/reference.h"
+#include "core/serial_ipu.h"
+#include "core/spatial_ipu.h"
+#include "nn/conv.h"
+
+namespace mpipu {
+namespace {
+
+constexpr auto kAllSchemes = {DecompositionScheme::kTemporal,
+                              DecompositionScheme::kSerial,
+                              DecompositionScheme::kSpatial};
+
+std::vector<Fp16> random_fp16_bits(Rng& rng, int n) {
+  std::vector<Fp16> v;
+  while (static_cast<int>(v.size()) < n) {
+    const Fp16 f = Fp16::from_bits(static_cast<uint32_t>(rng.next_u64()));
+    if (f.is_finite()) v.push_back(f);
+  }
+  return v;
+}
+
+AccumulatorConfig unbounded_acc() {
+  AccumulatorConfig acc;
+  acc.frac_bits = 100;
+  acc.lossless = true;
+  return acc;
+}
+
+DatapathConfig base_config(DecompositionScheme scheme, int w) {
+  DatapathConfig cfg;
+  cfg.scheme = scheme;
+  cfg.n_inputs = 16;
+  cfg.adder_tree_width = w;
+  cfg.software_precision = 28;
+  cfg.multi_cycle = true;
+  return cfg;
+}
+
+// --- Wrapping transparency: Datapath == direct scheme calls ------------------
+
+TEST(DatapathWrapping, TemporalBitMatchesDirectIpu) {
+  Rng rng(1);
+  for (int w : {12, 16, 28}) {
+    const DatapathConfig cfg = base_config(DecompositionScheme::kTemporal, w);
+    auto dp = make_datapath(cfg);
+    IpuConfig icfg;
+    icfg.n_inputs = cfg.n_inputs;
+    icfg.adder_tree_width = w;
+    icfg.software_precision = cfg.software_precision;
+    icfg.multi_cycle = cfg.multi_cycle;
+    Ipu ipu(icfg);
+    for (int t = 0; t < 500; ++t) {
+      const auto a = random_fp16_bits(rng, 16);
+      const auto b = random_fp16_bits(rng, 16);
+      const DotResult r = dp->dot(a, b);
+      ipu.reset_accumulator();
+      const int cycles = ipu.fp_accumulate<kFp16Format>(a, b);
+      EXPECT_TRUE(r.raw == ipu.read_raw()) << "w=" << w << " trial " << t;
+      EXPECT_EQ(r.cycles, cycles) << "w=" << w << " trial " << t;
+    }
+  }
+}
+
+TEST(DatapathWrapping, SerialBitMatchesDirectSerialIpu) {
+  Rng rng(2);
+  for (int w : {13, 16, 28}) {
+    const DatapathConfig cfg = base_config(DecompositionScheme::kSerial, w);
+    auto dp = make_datapath(cfg);
+    SerialIpuConfig scfg;
+    scfg.n_inputs = cfg.n_inputs;
+    scfg.adder_tree_width = w;
+    scfg.software_precision = cfg.software_precision;
+    scfg.multi_cycle = cfg.multi_cycle;
+    SerialIpu ipu(scfg);
+    for (int t = 0; t < 500; ++t) {
+      const auto a = random_fp16_bits(rng, 16);
+      const auto b = random_fp16_bits(rng, 16);
+      const DotResult r = dp->dot(a, b);
+      ipu.reset_accumulator();
+      const int cycles = ipu.fp_accumulate(a, b);
+      EXPECT_TRUE(r.raw == ipu.read_raw()) << "w=" << w << " trial " << t;
+      EXPECT_EQ(r.cycles, cycles) << "w=" << w << " trial " << t;
+    }
+  }
+}
+
+TEST(DatapathWrapping, SpatialBitMatchesDirectSpatialIpu) {
+  Rng rng(3);
+  for (int w : {16, 28, 40}) {
+    DatapathConfig cfg = base_config(DecompositionScheme::kSpatial, w);
+    cfg.skip_empty_bands = true;
+    auto dp = make_datapath(cfg);
+    SpatialIpuConfig scfg;
+    scfg.n_inputs = cfg.n_inputs;
+    scfg.adder_tree_width = w;
+    scfg.software_precision = cfg.software_precision;
+    scfg.multi_cycle = cfg.multi_cycle;
+    scfg.skip_empty_bands = true;
+    SpatialIpu ipu(scfg);
+    for (int t = 0; t < 500; ++t) {
+      const auto a = random_fp16_bits(rng, 16);
+      const auto b = random_fp16_bits(rng, 16);
+      const DotResult r = dp->dot(a, b);
+      ipu.reset_accumulator();
+      const int cycles = ipu.fp_accumulate<kFp16Format>(a, b);
+      EXPECT_TRUE(r.raw == ipu.read_raw()) << "w=" << w << " trial " << t;
+      EXPECT_EQ(r.cycles, cycles) << "w=" << w << " trial " << t;
+    }
+  }
+}
+
+TEST(DatapathWrapping, SerialWidthIsClampedToProductWidth) {
+  DatapathConfig cfg = base_config(DecompositionScheme::kSerial, 10);
+  EXPECT_EQ(cfg.effective_adder_tree_width(), 13);
+  EXPECT_EQ(cfg.safe_precision(), 1);
+  auto dp = make_datapath(cfg);  // must not trip SerialIpu's width assert
+  Rng rng(4);
+  const auto a = random_fp16_bits(rng, 16);
+  const auto b = random_fp16_bits(rng, 16);
+  EXPECT_GE(dp->dot(a, b).cycles, 12);
+}
+
+// --- Cross-scheme agreement (§5 orthogonality at the value level) ------------
+
+TEST(DatapathCrossScheme, AllSchemesMatchExactReferenceWithUnboundedAccumulator) {
+  // MC banding is lossless for every scheme when the accumulator keeps all
+  // bits and the software precision covers the FP16 worst case (58).
+  Rng rng(5);
+  for (auto scheme : kAllSchemes) {
+    DatapathConfig cfg = base_config(scheme, 14);
+    cfg.software_precision = 58;
+    cfg.accumulator = unbounded_acc();
+    auto dp = make_datapath(cfg);
+    for (int t = 0; t < 800; ++t) {
+      const auto a = random_fp16_bits(rng, 16);
+      const auto b = random_fp16_bits(rng, 16);
+      const FixedPoint exact = exact_fp_inner_product<kFp16Format>(a, b);
+      EXPECT_TRUE(dp->dot(a, b).raw == exact)
+          << scheme_name(scheme) << " trial " << t;
+    }
+  }
+}
+
+TEST(DatapathCrossScheme, SchemesAgreeBitForBitUnderSharedMasking) {
+  // Same software precision, exact accumulator, MC mode: all three schemes
+  // mask the same products and lose nothing else, so they agree exactly --
+  // on values; cycle counts are where the schemes differ.
+  Rng rng(6);
+  DatapathConfig cfg = base_config(DecompositionScheme::kTemporal, 16);
+  cfg.software_precision = 16;  // FP16-accumulation masking regime
+  cfg.accumulator = unbounded_acc();
+  std::vector<std::unique_ptr<Datapath>> dps;
+  for (auto scheme : kAllSchemes) {
+    cfg.scheme = scheme;
+    dps.push_back(make_datapath(cfg));
+  }
+  for (int t = 0; t < 1500; ++t) {
+    const auto a = random_fp16_bits(rng, 16);
+    const auto b = random_fp16_bits(rng, 16);
+    const DotResult r0 = dps[0]->dot(a, b);
+    for (size_t s = 1; s < dps.size(); ++s) {
+      const DotResult rs = dps[s]->dot(a, b);
+      EXPECT_TRUE(rs.raw == r0.raw)
+          << scheme_name(dps[s]->config().scheme) << " trial " << t;
+    }
+  }
+}
+
+TEST(DatapathCrossScheme, IntModeExactWhereSupported) {
+  Rng rng(7);
+  for (auto scheme : {DecompositionScheme::kTemporal, DecompositionScheme::kSerial}) {
+    auto dp = make_datapath(base_config(scheme, 16));
+    ASSERT_TRUE(dp->supports_int(8, 8));
+    for (int t = 0; t < 300; ++t) {
+      std::vector<int32_t> a, b;
+      for (int k = 0; k < 16; ++k) {
+        a.push_back(static_cast<int32_t>(rng.uniform_int(-128, 127)));
+        b.push_back(static_cast<int32_t>(rng.uniform_int(-128, 127)));
+      }
+      dp->reset_accumulator();
+      dp->int_accumulate(a, b, 8, 8);
+      EXPECT_EQ(dp->read_int(), exact_int_inner_product(a, b))
+          << scheme_name(scheme) << " trial " << t;
+    }
+  }
+  EXPECT_FALSE(make_datapath(base_config(DecompositionScheme::kSpatial, 16))
+                   ->supports_int(8, 8));
+}
+
+// --- Tile-costing model vs bit-accurate cycles -------------------------------
+
+TEST(DatapathCostModel, ServiceCyclesMatchBitAccurateUnits) {
+  // The exponent-only service model (fp16_op_service_cycles) drives the
+  // cycle simulator's tile costing; it must agree with what the bit-level
+  // units actually charge, for every scheme.
+  Rng rng(8);
+  for (auto scheme : kAllSchemes) {
+    for (int w : {14, 16, 28}) {
+      DatapathConfig cfg = base_config(scheme, w);
+      cfg.skip_empty_bands = scheme == DecompositionScheme::kSpatial;
+      auto dp = make_datapath(cfg);
+      std::vector<int> exps(16);
+      for (int t = 0; t < 400; ++t) {
+        const auto a = random_fp16_bits(rng, 16);
+        const auto b = random_fp16_bits(rng, 16);
+        for (int k = 0; k < 16; ++k) {
+          exps[static_cast<size_t>(k)] =
+              a[static_cast<size_t>(k)].decode().exp + b[static_cast<size_t>(k)].decode().exp;
+        }
+        EXPECT_EQ(fp16_op_service_cycles(exps, cfg), dp->dot(a, b).cycles)
+            << scheme_name(scheme) << " w=" << w << " trial " << t;
+      }
+    }
+  }
+}
+
+// --- ConvEngine determinism ---------------------------------------------------
+
+TEST(ConvEngineDeterminism, ThreadCountDoesNotChangeOutputOrStats) {
+  Rng rng(9);
+  const Tensor input = random_tensor(rng, 6, 10, 10, ValueDist::kNormal, 1.0);
+  const FilterBank filters = random_filters(rng, 5, 6, 3, 3, ValueDist::kNormal, 0.3);
+  ConvSpec spec;
+  spec.pad = 1;
+  for (auto scheme : kAllSchemes) {
+    ConvEngineConfig ec;
+    ec.datapath = base_config(scheme, 16);
+    ec.accum = AccumKind::kFp32;
+    ec.threads = 1;
+    ConvEngine serial_engine(ec);
+    const Tensor out1 = serial_engine.conv_fp16(input, filters, spec);
+    ec.threads = 4;
+    ConvEngine parallel_engine(ec);
+    const Tensor outn = parallel_engine.conv_fp16(input, filters, spec);
+    ASSERT_EQ(out1.data.size(), outn.data.size());
+    for (size_t i = 0; i < out1.data.size(); ++i) {
+      EXPECT_EQ(out1.data[i], outn.data[i]) << scheme_name(scheme) << " elt " << i;
+    }
+    EXPECT_EQ(serial_engine.stats(), parallel_engine.stats()) << scheme_name(scheme);
+  }
+}
+
+TEST(ConvEngineDeterminism, IntConvThreadCountDoesNotChangeOutputOrStats) {
+  Rng rng(10);
+  const Tensor input = random_tensor(rng, 8, 8, 8, ValueDist::kHalfNormal, 1.0);
+  const FilterBank filters = random_filters(rng, 4, 8, 3, 3, ValueDist::kNormal, 0.2);
+  ConvSpec spec;
+  ConvEngineConfig ec;
+  ec.datapath = base_config(DecompositionScheme::kTemporal, 16);
+  ec.threads = 1;
+  ConvEngine e1(ec);
+  ec.threads = 3;
+  ConvEngine e3(ec);
+  const Tensor out1 = e1.conv_int(input, filters, spec, 8, 8);
+  const Tensor out3 = e3.conv_int(input, filters, spec, 8, 8);
+  for (size_t i = 0; i < out1.data.size(); ++i) {
+    EXPECT_EQ(out1.data[i], out3.data[i]) << i;
+  }
+  EXPECT_EQ(e1.stats(), e3.stats());
+}
+
+TEST(ConvEngineDeterminism, MatchesLegacyWrapper) {
+  Rng rng(11);
+  const Tensor input = random_tensor(rng, 4, 9, 9, ValueDist::kNormal, 1.0);
+  const FilterBank filters = random_filters(rng, 3, 4, 3, 3, ValueDist::kNormal, 0.3);
+  ConvSpec spec;
+  spec.pad = 1;
+  IpuConfig icfg;
+  icfg.n_inputs = 16;
+  icfg.adder_tree_width = 16;
+  IpuConvStats wrapper_stats;
+  const Tensor legacy =
+      conv_ipu_fp16(input, filters, spec, icfg, AccumKind::kFp32, &wrapper_stats);
+
+  ConvEngineConfig ec;
+  ec.datapath = datapath_config_from_ipu(icfg);
+  ec.threads = 4;
+  ConvEngine engine(ec);
+  const Tensor threaded = engine.conv_fp16(input, filters, spec);
+  for (size_t i = 0; i < legacy.data.size(); ++i) {
+    EXPECT_EQ(legacy.data[i], threaded.data[i]) << i;
+  }
+  EXPECT_EQ(wrapper_stats.cycles, engine.stats().cycles);
+  EXPECT_EQ(wrapper_stats.fp_ops, engine.stats().fp_ops);
+}
+
+// --- ThreadPool ---------------------------------------------------------------
+
+TEST(ThreadPoolTest, PartitionCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (int64_t total : {0, 1, 3, 7, 100, 1000}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(total));
+      pool.parallel_for(total, [&](int64_t begin, int64_t end, int slot) {
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, threads);
+        for (int64_t i = begin; i < end; ++i) {
+          hits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < total; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " total=" << total << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.parallel_for(100, [&](int64_t begin, int64_t end, int) {
+      for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace mpipu

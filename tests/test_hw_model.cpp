@@ -74,7 +74,7 @@ TEST(HwModel, BaselineThroughputMatchesPaperSection41) {
   EXPECT_NEAR(peak_tops(b2, 4, 4), 4.096, 0.01);
   EXPECT_NEAR(fp16_tflops(b2) * 1000.0, 455.0, 1.0);
   DesignConfig b1 = proposed_design(38, 32, /*big=*/false);
-  b1.tile.ipu.multi_cycle = false;
+  b1.tile.datapath.multi_cycle = false;
   EXPECT_NEAR(peak_tops(b1, 4, 4), 1.024, 0.01);
   EXPECT_NEAR(fp16_tflops(b1) * 1000.0, 113.8, 1.0);
 }

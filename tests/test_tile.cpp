@@ -34,20 +34,20 @@ TEST(Tile, ClusterCounts) {
 
 TEST(Tile, MultiCycleFlagFollowsPrecisionCoverage) {
   // w >= P + 10 covers every unmasked shift in the single-cycle window.
-  EXPECT_TRUE(big_tile(12, 28).ipu.multi_cycle);
-  EXPECT_TRUE(big_tile(28, 28).ipu.multi_cycle);
-  EXPECT_FALSE(big_tile(38, 28).ipu.multi_cycle);
-  EXPECT_FALSE(big_tile(26, 16).ipu.multi_cycle);
-  EXPECT_TRUE(big_tile(25, 16).ipu.multi_cycle);
+  EXPECT_TRUE(big_tile(12, 28).datapath.multi_cycle);
+  EXPECT_TRUE(big_tile(28, 28).datapath.multi_cycle);
+  EXPECT_FALSE(big_tile(38, 28).datapath.multi_cycle);
+  EXPECT_FALSE(big_tile(26, 16).datapath.multi_cycle);
+  EXPECT_TRUE(big_tile(25, 16).datapath.multi_cycle);
 }
 
 TEST(Tile, BaselinesAreSingleCycle38Bit) {
   const TileConfig b1 = baseline1();
   const TileConfig b2 = baseline2();
-  EXPECT_EQ(b1.ipu.adder_tree_width, 38);
-  EXPECT_EQ(b2.ipu.adder_tree_width, 38);
-  EXPECT_FALSE(b1.ipu.multi_cycle);
-  EXPECT_FALSE(b2.ipu.multi_cycle);
+  EXPECT_EQ(b1.datapath.adder_tree_width, 38);
+  EXPECT_EQ(b2.datapath.adder_tree_width, 38);
+  EXPECT_FALSE(b1.datapath.multi_cycle);
+  EXPECT_FALSE(b2.datapath.multi_cycle);
   EXPECT_EQ(b1.c_unroll, 8);
   EXPECT_EQ(b2.c_unroll, 16);
   // Baseline peak rates (1 GHz): 1 and 4 TOPS worth of 4x4 MACs.
@@ -57,11 +57,11 @@ TEST(Tile, BaselinesAreSingleCycle38Bit) {
 
 TEST(Tile, IpuConfigInheritsGeometry) {
   const TileConfig t = big_tile(20, 28, 8);
-  EXPECT_EQ(t.ipu.n_inputs, t.c_unroll);
-  EXPECT_EQ(t.ipu.adder_tree_width, 20);
-  EXPECT_EQ(t.ipu.software_precision, 28);
-  EXPECT_EQ(t.ipu.accumulator.t, 4);  // ceil_log2(16)
-  EXPECT_TRUE(t.ipu.skip_empty_bands);
+  EXPECT_EQ(t.datapath.n_inputs, t.c_unroll);
+  EXPECT_EQ(t.datapath.adder_tree_width, 20);
+  EXPECT_EQ(t.datapath.software_precision, 28);
+  EXPECT_EQ(t.datapath.accumulator.t, 4);  // ceil_log2(16)
+  EXPECT_TRUE(t.datapath.skip_empty_bands);
 }
 
 }  // namespace
