@@ -6,45 +6,47 @@
 //
 // Paper claims to check: precision >= 12 keeps Top-1 identical to FP32 CPU;
 // precision 8 mostly agrees on average but fluctuates per batch.
+//
+// Migrated onto the high-level API: the CNN (convs + ReLU/pool post-ops) is
+// one Model, each precision point is one Session whose RunSpec carries the
+// datapath, and run_batch over the image batch replaces the hand-wired
+// per-image forward loops.  Results are also written to BENCH_accuracy.json
+// through RunReport's JSON emitter (the repo's single JSON serializer).
+//
+//   ./bench_accuracy_study [--smoke]
+//     --smoke: small batch / fewer precision points (CI perf trajectory)
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "bench_util.h"
-#include "nn/conv.h"
 
 namespace mpipu {
 namespace {
 
-struct SmallCnn {
-  FilterBank conv1, conv2, conv3, head;  // head: 1x1 "dense" to 10 classes
-};
-
-SmallCnn make_cnn(Rng& rng) {
-  SmallCnn net;
-  net.conv1 = random_filters(rng, 16, 3, 3, 3, ValueDist::kNormal, 0.25).rounded_to_fp16();
-  net.conv2 = random_filters(rng, 32, 16, 3, 3, ValueDist::kNormal, 0.12).rounded_to_fp16();
-  net.conv3 = random_filters(rng, 32, 32, 3, 3, ValueDist::kNormal, 0.09).rounded_to_fp16();
-  net.head = random_filters(rng, 10, 32, 1, 1, ValueDist::kNormal, 0.2).rounded_to_fp16();
-  return net;
-}
-
-template <typename ConvFn>
-Tensor forward(const SmallCnn& net, const Tensor& img, ConvFn&& conv) {
+Model make_cnn(Rng& rng) {
+  std::vector<ModelLayer> layers(4);
   ConvSpec pad1;
   pad1.pad = 1;
-  Tensor x = maxpool2(relu(conv(img, net.conv1, pad1)));
-  x = maxpool2(relu(conv(x, net.conv2, pad1)));
-  x = relu(conv(x, net.conv3, pad1));
-  // Global average pool then the 1x1 head.
-  Tensor pooled(x.c, 1, 1);
-  for (int c = 0; c < x.c; ++c) {
-    double s = 0.0;
-    for (int y = 0; y < x.h; ++y) {
-      for (int xx = 0; xx < x.w; ++xx) s += x.at(c, y, xx);
-    }
-    pooled.at(c, 0, 0) = s / (x.h * x.w);
-  }
-  return conv(pooled, net.head, ConvSpec{});
+  layers[0] = {"conv1",
+               random_filters(rng, 16, 3, 3, 3, ValueDist::kNormal, 0.25)
+                   .rounded_to_fp16(),
+               pad1, /*relu=*/true, PoolOp::kMax2};
+  layers[1] = {"conv2",
+               random_filters(rng, 32, 16, 3, 3, ValueDist::kNormal, 0.12)
+                   .rounded_to_fp16(),
+               pad1, /*relu=*/true, PoolOp::kMax2};
+  layers[2] = {"conv3",
+               random_filters(rng, 32, 32, 3, 3, ValueDist::kNormal, 0.09)
+                   .rounded_to_fp16(),
+               pad1, /*relu=*/true, PoolOp::kGlobalAvg};
+  layers[3] = {"head",
+               random_filters(rng, 10, 32, 1, 1, ValueDist::kNormal, 0.2)
+                   .rounded_to_fp16(),
+               ConvSpec{}, /*relu=*/false, PoolOp::kNone};
+  return Model::from_layers("small-cnn", std::move(layers));
 }
 
 int argmax(const Tensor& logits) {
@@ -58,60 +60,94 @@ int argmax(const Tensor& logits) {
 }  // namespace
 }  // namespace mpipu
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpipu;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::title("Section 3.1 end-to-end study: CNN agreement vs IPU precision");
+  if (smoke) std::printf("(smoke mode: reduced batch and precision sweep)\n");
 
   Rng rng(0xACC);
-  const SmallCnn net = make_cnn(rng);
-  const int batch = 48;
+  const Model model = make_cnn(rng);
+  const int batch = smoke ? 8 : 48;
   std::vector<Tensor> images;
   for (int i = 0; i < batch; ++i) {
     images.push_back(
         random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0).rounded_to_fp16());
   }
 
-  // Reference forward passes (exact double arithmetic on FP16 weights/inputs).
-  std::vector<int> ref_labels;
+  // The exact FP32 reference depends only on (model, image): compute it once
+  // here instead of once per precision point inside run().
   std::vector<Tensor> ref_logits;
-  for (const auto& img : images) {
-    ref_logits.push_back(forward(net, img, [](const Tensor& x, const FilterBank& f,
-                                              const ConvSpec& s) {
-      return conv_reference(x, f, s);
-    }));
+  std::vector<int> ref_labels;
+  for (const Tensor& img : images) {
+    ref_logits.push_back(Session::reference(model, img));
     ref_labels.push_back(argmax(ref_logits.back()));
   }
 
   bench::Table t({"IPU precision", "Top-1 agreement", "logit SNR (dB)",
                   "FP16-mismatched logits"});
-  for (int precision : {8, 10, 12, 16, 20, 28}) {
-    IpuConfig cfg;
-    cfg.n_inputs = 16;
-    cfg.adder_tree_width = precision;
-    cfg.software_precision = precision;
-    cfg.multi_cycle = false;
+  Json doc = Json::object();
+  doc.set("bench", "accuracy_study").set("batch", batch);
+  Json points = Json::array();
+
+  const std::vector<int> precisions =
+      smoke ? std::vector<int>{8, 12, 28} : std::vector<int>{8, 10, 12, 16, 20, 28};
+  for (const int precision : precisions) {
+    // One RunSpec per precision point: the single-cycle truncating window
+    // at IPU precision w == software precision, all layers FP16/FP32-accum.
+    RunSpec spec;
+    spec.datapath.scheme = DecompositionScheme::kTemporal;
+    spec.datapath.n_inputs = 16;
+    spec.datapath.adder_tree_width = precision;
+    spec.datapath.software_precision = precision;
+    spec.datapath.multi_cycle = false;
+    spec.policy = PrecisionPolicy::all_fp16(AccumKind::kFp32);
+    Session session(spec);
+
+    RunOptions opts;
+    opts.compare_reference = false;  // compared against the hoisted refs below
+    const BatchRunReport result = session.run_batch(model, images, opts);
     int agree = 0;
     double snr_sum = 0.0;
     int64_t mismatched = 0, total_logits = 0;
-    for (int i = 0; i < batch; ++i) {
-      const Tensor logits =
-          forward(net, images[static_cast<size_t>(i)],
-                  [&](const Tensor& x, const FilterBank& f, const ConvSpec& s) {
-                    return conv_ipu_fp16(x, f, s, cfg, AccumKind::kFp32);
-                  });
-      agree += argmax(logits) == ref_labels[static_cast<size_t>(i)];
-      const AgreementStats st = compare_outputs(logits, ref_logits[static_cast<size_t>(i)]);
+    for (size_t i = 0; i < result.runs.size(); ++i) {
+      const AgreementStats st =
+          compare_outputs(result.runs[i].output, ref_logits[i]);
+      agree += argmax(result.runs[i].output) == ref_labels[i];
       snr_sum += st.snr_db;
       mismatched += st.mismatched_fp16;
       total_logits += st.total;
     }
-    t.add_row({std::to_string(precision) + "b",
-               bench::fmt_pct(static_cast<double>(agree) / batch, 1),
+    const double top1 = static_cast<double>(agree) / batch;
+    t.add_row({std::to_string(precision) + "b", bench::fmt_pct(top1, 1),
                bench::fmt(snr_sum / batch, 1),
                bench::fmt_pct(static_cast<double>(mismatched) /
                               static_cast<double>(total_logits))});
+
+    // One entry per precision point, serialized through the report emitter
+    // (totals + per-run layer stats/errors; tensors stay out of the file).
+    Json point = Json::object();
+    point.set("ipu_precision", precision)
+        .set("top1_agreement", top1)
+        .set("mean_logit_snr_db", snr_sum / batch)
+        .set("mismatched_fp16_fraction",
+             static_cast<double>(mismatched) / static_cast<double>(total_logits))
+        .set("batch_report", result.to_json_value());
+    points.push(std::move(point));
   }
   t.print();
+  doc.set("points", std::move(points));
+
+  const char* out_path = "BENCH_accuracy.json";
+  if (FILE* f = std::fopen(out_path, "w")) {
+    const std::string json = doc.dump(2);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nWrote %s (%zu bytes)\n", out_path, json.size() + 1);
+  } else {
+    std::fprintf(stderr, "WARNING: could not open %s for writing\n", out_path);
+  }
 
   bench::section("Claim checks");
   std::printf("Paper: IPU precision >= 12 maintains FP32-CPU Top-1 for all batches;\n");

@@ -10,8 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "model/hw_model.h"
-#include "sim/cycle_sim.h"
 
 using namespace mpipu;
 
@@ -30,18 +30,28 @@ int main(int argc, char** argv) {
   std::printf("== IPU design-space explorer (FP16 share of work: %.0f%%) ==\n\n",
               100.0 * fp_fraction);
 
+  // Every design is scored through the high-level API: one Session per
+  // candidate, whose RunSpec datapath + tile geometry come from the design,
+  // estimating the same shape-table Model.
+  const Model model = Model::from_network(resnet18_forward());
   SimOptions opts;
   opts.sampled_steps = 300;
-  const Network net = resnet18_forward();
-  const TileConfig base_tile = baseline2();
-  const auto base_run = simulate_network(net, base_tile, opts);
+
+  auto estimate_design = [&](const TileConfig& tile) {
+    RunSpec spec;
+    spec.datapath = tile.datapath;
+    spec.tile = tile;
+    spec.sim = opts;
+    return Session(spec).estimate(model);
+  };
+  const auto base_run = estimate_design(baseline2());
 
   std::vector<Candidate> cands;
   for (int w : {12, 14, 16, 20, 24, 28, 38}) {
     for (int cluster : {1, 2, 4, 16, 64}) {
       DesignConfig d = proposed_design(w, cluster, /*big=*/true);
       if (w >= 38) d.tile.datapath.multi_cycle = false;
-      const auto run = simulate_network(net, d.tile, opts);
+      const auto run = estimate_design(d.tile);
       const double slowdown = run.normalized_to(base_run);
       Candidate c;
       c.w = w;

@@ -3,91 +3,68 @@
 // robust middle layers, INT8 where quantization is harder, FP16 for the
 // sensitive first/last layers -- all running on the *same* IPU datapath.
 //
-// Shows per-layer accuracy (vs the exact FP32 reference) and the datapath
-// cycles each choice costs, i.e. the accuracy/efficiency trade-off the
-// mixed-precision hardware enables.
+// Migrated onto the high-level API: the layer list is a Model, the per-layer
+// choices are a PrecisionPolicy (the int8_except_first_last preset plus one
+// INT4 override), and a single Session::run produces the whole
+// accuracy/cycles table that used to be hand-wired ConvEngine calls.
 //
 //   ./examples/mixed_precision_inference
 #include <cstdio>
-#include <string>
 #include <vector>
 
-#include "nn/conv.h"
+#include "api/session.h"
 
 using namespace mpipu;
-
-namespace {
-
-struct LayerPlan {
-  std::string name;
-  const char* precision;  // "fp16", "int8", "int4"
-  FilterBank filters;
-  ConvSpec spec;
-};
-
-Tensor run_layer(const LayerPlan& plan, const Tensor& input, ConvEngine& engine) {
-  const std::string p = plan.precision;
-  if (p == "fp16") {
-    return engine.conv_fp16(input.rounded_to_fp16(), plan.filters.rounded_to_fp16(),
-                            plan.spec);
-  }
-  const int bits = p == "int8" ? 8 : 4;
-  return engine.conv_int(input, plan.filters, plan.spec, bits, bits);
-}
-
-}  // namespace
 
 int main() {
   std::printf("== Mixed-precision CNN inference on one IPU datapath ==\n\n");
 
   Rng rng(7);
-  Tensor input = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+  const Tensor input = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
 
   ConvSpec pad1;
   pad1.pad = 1;
-  std::vector<LayerPlan> plans;
-  plans.push_back({"conv1 (sensitive)", "fp16",
-                   random_filters(rng, 16, 3, 3, 3, ValueDist::kNormal, 0.3), pad1});
-  plans.push_back({"conv2 (robust)", "int4",
-                   random_filters(rng, 24, 16, 3, 3, ValueDist::kNormal, 0.1), pad1});
-  plans.push_back({"conv3 (robust)", "int8",
-                   random_filters(rng, 24, 24, 3, 3, ValueDist::kNormal, 0.1), pad1});
-  plans.push_back({"head (sensitive)", "fp16",
-                   random_filters(rng, 10, 24, 1, 1, ValueDist::kNormal, 0.2),
-                   ConvSpec{}});
+  std::vector<ModelLayer> layers(4);
+  layers[0] = {"conv1 (sensitive)",
+               random_filters(rng, 16, 3, 3, 3, ValueDist::kNormal, 0.3), pad1,
+               /*relu=*/true, PoolOp::kNone};
+  layers[1] = {"conv2 (robust)",
+               random_filters(rng, 24, 16, 3, 3, ValueDist::kNormal, 0.1), pad1,
+               /*relu=*/true, PoolOp::kNone};
+  layers[2] = {"conv3 (robust)",
+               random_filters(rng, 24, 24, 3, 3, ValueDist::kNormal, 0.1), pad1,
+               /*relu=*/true, PoolOp::kNone};
+  layers[3] = {"head (sensitive)",
+               random_filters(rng, 10, 24, 1, 1, ValueDist::kNormal, 0.2),
+               ConvSpec{}, /*relu=*/true, PoolOp::kNone};
+  const Model model = Model::from_layers("mixed-cnn", std::move(layers));
 
-  // One unified datapath config serves every layer; swap `scheme` to run
-  // the whole net on the serial or spatial decomposition instead.
-  ConvEngineConfig ec;
-  ec.datapath.scheme = DecompositionScheme::kTemporal;
-  ec.datapath.n_inputs = 16;
-  ec.datapath.adder_tree_width = 16;
-  ec.datapath.software_precision = 28;
-  ec.datapath.multi_cycle = true;
-  ec.accum = AccumKind::kFp32;
-  ec.threads = 0;  // hardware_concurrency
-  ConvEngine engine(ec);
+  // One RunSpec serves every layer; swap `scheme` to run the whole net on
+  // the serial or spatial decomposition instead.  The policy preset keeps
+  // the sensitive ends in FP16 and quantizes the interior; conv2 is robust
+  // enough for INT4.
+  RunSpec spec;
+  spec.datapath.scheme = DecompositionScheme::kTemporal;
+  spec.datapath.n_inputs = 16;
+  spec.datapath.adder_tree_width = 16;
+  spec.datapath.software_precision = 28;
+  spec.policy = PrecisionPolicy::int8_except_first_last().set_layer(
+      "conv2 (robust)", LayerPrecision::int_bits(4, 4));
+  spec.threads = 0;  // hardware_concurrency
+  Session session(spec);
 
-  std::printf("%-18s %-6s %12s %12s %10s\n", "layer", "prec", "SNR vs FP32", "max |err|",
-              "cycles");
-  Tensor x = input, x_ref = input;
-  int64_t cycles_before = 0;
-  for (const auto& plan : plans) {
-    const Tensor y = relu(run_layer(plan, x, engine));
-    const Tensor y_ref = relu(conv_reference(x_ref, plan.filters, plan.spec));
-    const AgreementStats agree = compare_outputs(y, y_ref);
-    const int64_t cycles_now = engine.stats().cycles;
-    std::printf("%-18s %-6s %9.1f dB %12.2e %10lld\n", plan.name.c_str(), plan.precision,
-                agree.snr_db, agree.max_abs_err,
-                static_cast<long long>(cycles_now - cycles_before));
-    cycles_before = cycles_now;
-    x = y;
-    x_ref = y_ref;
+  const RunReport report = session.run(model, input);
+
+  std::printf("%-18s %-12s %12s %12s %10s\n", "layer", "precision",
+              "SNR vs FP32", "max |err|", "cycles");
+  for (const LayerRunReport& l : report.layers) {
+    std::printf("%-18s %-12s %9.1f dB %12.2e %10lld\n", l.layer.c_str(),
+                l.precision.c_str(), l.error.snr_db, l.error.max_abs_err,
+                static_cast<long long>(l.stats.cycles));
   }
 
-  const AgreementStats final_agree = compare_outputs(x, x_ref);
   std::printf("\nEnd-to-end output SNR vs exact FP32 pipeline: %.1f dB\n",
-              final_agree.snr_db);
+              report.end_to_end.snr_db);
   std::printf("\nTakeaway: one nibble-based datapath serves FP16, INT8 and INT4 layers;\n");
   std::printf("INT4 layers run 9x fewer nibble iterations than FP16 ones.\n");
   return 0;

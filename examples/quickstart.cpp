@@ -1,131 +1,102 @@
 // Quickstart: the mixed-precision IPU in five minutes.
 //
-// Builds one MC-IPU(16), runs an FP16 inner product and an INT8 inner
-// product through the bit-accurate datapath, and shows the three things the
-// paper is about: temporal nibble decomposition, alignment-driven
-// multi-cycling, and the accuracy of the approximate datapath.
+// The high-level API in three types: a Model (layers + real weights), a
+// PrecisionPolicy (per-layer FP16/INT choice), and a Session whose one
+// RunSpec drives BOTH evaluation paths the paper uses -- the bit-accurate
+// numeric forward pass (Session::run) and the cycle-level tile simulation
+// (Session::estimate).  A low-level coda shows the same datapath at the
+// single-inner-product level across all three decomposition schemes.
 //
 //   ./examples/quickstart
 #include <cstdio>
 #include <vector>
 
+#include "api/session.h"
 #include "common/rng.h"
 #include "core/datapath.h"
-#include "core/ipu.h"
-#include "core/reference.h"
-#include "nn/conv.h"
 
 using namespace mpipu;
 
 int main() {
   std::printf("== Mixed-precision IPU quickstart ==\n\n");
 
-  // An MC-IPU(16): 16 multiplier lanes, 16-bit adder tree, FP32-grade
-  // software precision (28 bits of alignment honored, paper Section 3.1).
-  IpuConfig cfg;
-  cfg.n_inputs = 16;
-  cfg.adder_tree_width = 16;
-  cfg.software_precision = 28;
-  cfg.multi_cycle = true;
-  Ipu ipu(cfg);
-  std::printf("MC-IPU(%d): %d inputs, safe precision sp = %d bits\n",
-              cfg.adder_tree_width, cfg.n_inputs, cfg.safe_precision());
+  // --- A tiny CNN with real weights -----------------------------------------
+  Rng rng(7);
+  std::vector<ModelLayer> layers(3);
+  layers[0] = {"stem", random_filters(rng, 16, 3, 3, 3, ValueDist::kNormal, 0.3),
+               ConvSpec{.stride = 1, .pad = 1}, /*relu=*/true, PoolOp::kNone};
+  layers[1] = {"body", random_filters(rng, 24, 16, 3, 3, ValueDist::kNormal, 0.1),
+               ConvSpec{.stride = 1, .pad = 1}, /*relu=*/true, PoolOp::kMax2};
+  layers[2] = {"head", random_filters(rng, 10, 24, 1, 1, ValueDist::kNormal, 0.2),
+               ConvSpec{}, /*relu=*/false, PoolOp::kGlobalAvg};
+  const Model model = Model::from_layers("tiny-cnn", std::move(layers));
+  const Tensor input = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
 
-  // --- FP16 inner product ---------------------------------------------------
-  Rng rng(42);
+  // --- One RunSpec: datapath + tile + policy + threads ----------------------
+  RunSpec spec;
+  spec.datapath.scheme = DecompositionScheme::kTemporal;  // MC-IPU(16)
+  spec.datapath.n_inputs = 16;
+  spec.datapath.adder_tree_width = 16;
+  spec.datapath.software_precision = 28;
+  spec.tile = big_tile(16, 28);
+  spec.policy = PrecisionPolicy::int8_except_first_last();
+  spec.threads = 0;  // hardware_concurrency
+  Session session(spec);
+
+  // --- Numeric path: bit-accurate forward pass ------------------------------
+  RunOptions opts;
+  opts.with_estimate = true;  // attach the cycle-sim view to the report
+  const RunReport report = session.run(model, input, opts);
+
+  std::printf("Session::run on MC-IPU(16), temporal scheme, %d thread(s):\n",
+              report.threads);
+  std::printf("  %-6s %-12s %12s %12s %12s\n", "layer", "precision",
+              "SNR vs FP32", "max |err|", "cycles");
+  for (const LayerRunReport& l : report.layers) {
+    std::printf("  %-6s %-12s %9.1f dB %12.2e %12lld\n", l.layer.c_str(),
+                l.precision.c_str(), l.error.snr_db, l.error.max_abs_err,
+                static_cast<long long>(l.stats.cycles));
+  }
+  std::printf("  end-to-end: SNR %.1f dB, %lld FP ops, %lld INT ops, "
+              "%lld datapath cycles\n",
+              report.end_to_end.snr_db,
+              static_cast<long long>(report.totals.fp_ops),
+              static_cast<long long>(report.totals.int_ops),
+              static_cast<long long>(report.totals.cycles));
+
+  // --- Analytical path: the same RunSpec on the cycle simulator -------------
+  std::printf("\nSession::estimate on the %s tile (same RunSpec):\n",
+              spec.tile.name.c_str());
+  std::printf("  %.3g simulated tile cycles for the FP16 forward pass "
+              "(%zu layers)\n",
+              report.estimate->total_cycles, report.estimate->layers.size());
+
+  // --- The report serializes through the one JSON emitter -------------------
+  const std::string json = report.to_json(0);
+  std::printf("\nRunReport::to_json(): %zu bytes, starts \"%.48s...\"\n",
+              json.size(), json.c_str());
+
+  // --- Low-level coda: one DatapathConfig, three decomposition schemes ------
+  // §5: the MC alignment optimization is orthogonal to the scheme; the
+  // presets carry each scheme's native cycle-counting defaults.
+  std::printf("\nSame FP16 dot product on every decomposition scheme:\n");
   std::vector<Fp16> a, b;
   for (int i = 0; i < 16; ++i) {
     a.push_back(Fp16::from_double(rng.normal(0.0, 1.0)));
     b.push_back(Fp16::from_double(rng.normal(0.0, 0.05)));
   }
-  const int cycles = ipu.fp_accumulate<kFp16Format>(a, b);
-  const Fp32 result = ipu.read_fp<kFp32Format>();
-  const Fp32 exact = exact_fp_inner_product_rounded<kFp16Format, kFp32Format>(a, b);
-
-  std::printf("\nFP16 dot product of 16 pairs:\n");
-  std::printf("  datapath result (FP32): %-12g raw=0x%08X\n", result.to_double(),
-              result.raw_bits());
-  std::printf("  exact reference (FP32): %-12g raw=0x%08X\n", exact.to_double(),
-              exact.raw_bits());
-  std::printf("  cycles: %d  (9 nibble iterations x %d alignment cycle(s))\n", cycles,
-              cycles / 9);
-
-  // --- Force a large alignment to see multi-cycling --------------------------
-  std::vector<Fp16> big = a;
-  big[0] = Fp16::from_double(20000.0);  // exponent far above the others
-  ipu.reset_accumulator();
-  const int cycles_wide = ipu.fp_accumulate<kFp16Format>(big, b);
-  std::printf("\nSame op with one 2e4-magnitude outlier: %d cycles (%d per iteration)\n",
-              cycles_wide, cycles_wide / 9);
-  std::printf("  -> products far below the max exponent need extra serve cycles\n");
-
-  // --- INT8 inner product -----------------------------------------------------
-  std::vector<int32_t> ia, ib;
-  int64_t expect = 0;
-  for (int i = 0; i < 16; ++i) {
-    ia.push_back(static_cast<int32_t>(rng.uniform_int(-128, 127)));
-    ib.push_back(static_cast<int32_t>(rng.uniform_int(-128, 127)));
-    expect += int64_t{ia.back()} * ib.back();
-  }
-  ipu.reset_accumulator();
-  const int int_cycles = ipu.int_accumulate(ia, ib, 8, 8);
-  std::printf("\nINT8 dot product: datapath %lld, expected %lld, cycles %d "
-              "(2x2 nibble iterations, exact)\n",
-              static_cast<long long>(ipu.read_int()), static_cast<long long>(expect),
-              int_cycles);
-
-  // --- INT4: the native single-cycle case -------------------------------------
-  std::vector<int32_t> i4a, i4b;
-  for (int i = 0; i < 16; ++i) {
-    i4a.push_back(static_cast<int32_t>(rng.uniform_int(-8, 7)));
-    i4b.push_back(static_cast<int32_t>(rng.uniform_int(-8, 7)));
-  }
-  ipu.reset_accumulator();
-  std::printf("INT4 dot product: %d cycle(s) -- the architecture's native mode\n",
-              ipu.int_accumulate(i4a, i4b, 4, 4));
-
-  std::printf("\nStats: %lld FP ops, %lld INT ops, %lld total cycles, "
-              "%lld products EHU-masked\n",
-              static_cast<long long>(ipu.stats().fp_ops),
-              static_cast<long long>(ipu.stats().int_ops),
-              static_cast<long long>(ipu.stats().cycles),
-              static_cast<long long>(ipu.stats().masked_products));
-
-  // --- All three decomposition schemes through one config ---------------------
-  // §5: the MC alignment optimization is orthogonal to the decomposition
-  // scheme.  One DatapathConfig, three schemes, bit-identical values.
-  std::printf("\nSame FP16 dot on every decomposition scheme (one DatapathConfig):\n");
-  DatapathConfig dcfg;
-  dcfg.n_inputs = 16;
-  dcfg.adder_tree_width = 16;
-  dcfg.software_precision = 28;
-  dcfg.multi_cycle = true;
   for (auto scheme : {DecompositionScheme::kTemporal, DecompositionScheme::kSerial,
                       DecompositionScheme::kSpatial}) {
-    dcfg.scheme = scheme;
+    DatapathConfig dcfg = DatapathConfig::for_scheme(scheme);
+    dcfg.n_inputs = 16;
+    dcfg.adder_tree_width = 16;
     auto dp = make_datapath(dcfg);
     const DotResult r = dp->dot(a, b);
     std::printf("  %-8s  value=%-12g raw=0x%08X  cycles=%2d  (%d multipliers)\n",
                 scheme_name(scheme), r.fp32().to_double(), r.fp32().raw_bits(),
                 r.cycles, dp->multipliers());
   }
-
-  // --- Scheme-generic threaded convolution ------------------------------------
-  Rng crng(7);
-  const Tensor image = random_tensor(crng, 8, 12, 12, ValueDist::kNormal, 1.0);
-  const FilterBank bank = random_filters(crng, 8, 8, 3, 3, ValueDist::kNormal, 0.2);
-  ConvSpec spec;
-  spec.pad = 1;
-  ConvEngineConfig ec;
-  ec.datapath = dcfg;
-  ec.datapath.scheme = DecompositionScheme::kTemporal;
-  ec.threads = 0;  // hardware_concurrency
-  ConvEngine engine(ec);
-  const Tensor out = engine.conv_fp16(image, bank, spec);
-  const AgreementStats agree = compare_outputs(out, conv_reference(image, bank, spec));
-  std::printf("\nConvEngine (%d threads, temporal scheme): 8x12x12 conv3x3 -> "
-              "SNR %.1f dB vs FP32 reference, %lld datapath cycles\n",
-              engine.threads(), agree.snr_db,
-              static_cast<long long>(engine.stats().cycles));
+  std::printf("\nValues are bit-identical across schemes; cycles are where "
+              "they differ.\n");
   return 0;
 }

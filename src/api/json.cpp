@@ -1,0 +1,109 @@
+#include "api/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mpipu {
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+Json& Json::set(std::string key, Json value) {
+  assert(is_object());
+  std::get<Object>(v_).emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  assert(is_array());
+  std::get<Array>(v_).push_back(std::move(value));
+  return *this;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(v_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&v_)) {
+    out += *b ? "true" : "false";
+  } else if (const int64_t* i = std::get_if<int64_t>(&v_)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(*i));
+    out += buf;
+  } else if (const double* d = std::get_if<double>(&v_)) {
+    if (!std::isfinite(*d)) {
+      out += "null";  // JSON has no Inf/NaN
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.12g", *d);
+      out += buf;
+    }
+  } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+    escape_into(out, *s);
+  } else if (const Array* a = std::get_if<Array>(&v_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (size_t k = 0; k < a->size(); ++k) {
+      if (k > 0) out += ',';
+      newline_indent(out, indent, depth + 1);
+      (*a)[k].write(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const Object& o = std::get<Object>(v_);
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (size_t k = 0; k < o.size(); ++k) {
+      if (k > 0) out += ',';
+      newline_indent(out, indent, depth + 1);
+      escape_into(out, o[k].first);
+      out += indent > 0 ? ": " : ":";
+      o[k].second.write(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace mpipu

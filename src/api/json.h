@@ -1,0 +1,52 @@
+// Minimal JSON document builder -- the one serialization point of the
+// high-level API.  RunReport::to_json() and every bench that emits machine-
+// readable results compose a `Json` value and dump it, so all JSON leaving
+// this repo is formatted by a single emitter (keys keep insertion order,
+// non-finite doubles become null, strings are escaped once, here).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mpipu {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;  // insertion order
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<int64_t>(i)) {}
+  Json(int64_t i) : v_(i) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  /// Append a key to an object (callable only on objects; asserts otherwise).
+  Json& set(std::string key, Json value);
+  /// Append an element to an array.
+  Json& push(Json value);
+
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+
+  /// Serialize; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array, Object> v_;
+};
+
+}  // namespace mpipu

@@ -1,0 +1,71 @@
+// Model: the network a Session runs or estimates -- paper §4.1 evaluates at
+// *network* granularity (accuracy and cycles of whole forward paths), so the
+// high-level API takes a whole network too, built either
+//
+//   * from an ad-hoc layer list carrying real weight tensors
+//     (Model::from_layers) -- the numeric path: Session::run executes it
+//     layer by layer on the bit-accurate datapath; or
+//   * from a `Network` shape table (Model::from_network, e.g.
+//     resnet18_forward()) -- the analytical path: Session::estimate costs it
+//     on the cycle simulator.  Shape tables collapse repeated blocks and
+//     carry no weights, so run() rejects them unless weights are
+//     materialized onto a sequentially consistent table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/conv.h"
+#include "nn/tensor.h"
+#include "workload/networks.h"
+
+namespace mpipu {
+
+/// Pooling applied after the (optional) ReLU of a layer.
+enum class PoolOp { kNone, kMax2, kGlobalAvg };
+
+/// One convolution layer of a numeric model: weights plus the post-ops the
+/// forward pass applies to its output (ReLU first, then pooling).
+struct ModelLayer {
+  std::string name;
+  FilterBank filters;
+  ConvSpec spec;
+  bool relu = false;
+  PoolOp pool = PoolOp::kNone;
+};
+
+class Model {
+ public:
+  /// Build from an explicit layer chain.  Validates channel chaining
+  /// (layer[i+1].cin == layer[i].cout); throws std::invalid_argument on an
+  /// empty list or a break in the chain.
+  static Model from_layers(std::string name, std::vector<ModelLayer> layers);
+
+  /// Wrap a shape table (workload/networks.h).  The model is estimate-only
+  /// until materialize_weights() succeeds.
+  static Model from_network(Network net);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ModelLayer>& layers() const { return layers_; }
+  bool has_weights() const { return !layers_.empty(); }
+
+  /// Fill random FP16-rounded weights for every row of a wrapped shape
+  /// table, drawn from the network's weight distribution.  Requires the
+  /// table to be a sequentially consistent chain (each row's cin equals the
+  /// previous row's cout and repeat == 1); throws std::invalid_argument
+  /// otherwise (e.g. for branchy tables like resnet18_forward()).
+  void materialize_weights(uint64_t seed);
+
+  /// Shape table for the cycle-sim path: the wrapped Network for
+  /// from_network models (input dims ignored); derived by walking the layer
+  /// chain from (input_h, input_w) for from_layers models.
+  Network shape_table(int input_h = 0, int input_w = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<ModelLayer> layers_;
+  std::optional<Network> shape_net_;
+};
+
+}  // namespace mpipu

@@ -1,0 +1,66 @@
+#include "api/precision_policy.h"
+
+namespace mpipu {
+
+std::string LayerPrecision::to_string() const {
+  if (kind == Kind::kFp16) {
+    return accum == AccumKind::kFp32 ? "fp16+fp32acc" : "fp16+fp16acc";
+  }
+  return "int" + std::to_string(a_bits) + "x" + std::to_string(w_bits);
+}
+
+PrecisionPolicy PrecisionPolicy::all_fp16(AccumKind accum) {
+  PrecisionPolicy p;
+  p.default_ = LayerPrecision::fp16(accum);
+  return p;
+}
+
+PrecisionPolicy PrecisionPolicy::all_int(int bits) {
+  PrecisionPolicy p;
+  p.default_ = LayerPrecision::int_bits(bits, bits);
+  return p;
+}
+
+PrecisionPolicy PrecisionPolicy::int8_except_first_last() {
+  PrecisionPolicy p;
+  p.default_ = LayerPrecision::int_bits(8, 8);
+  p.first_last_ = LayerPrecision::fp16(AccumKind::kFp32);
+  return p;
+}
+
+PrecisionPolicy& PrecisionPolicy::set_default(LayerPrecision p) {
+  default_ = p;
+  return *this;
+}
+
+PrecisionPolicy& PrecisionPolicy::set_first_last(LayerPrecision p) {
+  first_last_ = p;
+  return *this;
+}
+
+PrecisionPolicy& PrecisionPolicy::set_layer(const std::string& name,
+                                            LayerPrecision p) {
+  by_name_[name] = p;
+  return *this;
+}
+
+PrecisionPolicy& PrecisionPolicy::set_layer(size_t index, LayerPrecision p) {
+  by_index_[index] = p;
+  return *this;
+}
+
+LayerPrecision PrecisionPolicy::resolve(size_t index, size_t n_layers,
+                                        const std::string& name) const {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  if (const auto it = by_index_.find(index); it != by_index_.end()) {
+    return it->second;
+  }
+  if (first_last_.has_value() && (index == 0 || index + 1 == n_layers)) {
+    return *first_last_;
+  }
+  return default_;
+}
+
+}  // namespace mpipu

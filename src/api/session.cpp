@@ -1,0 +1,204 @@
+#include "api/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mpipu {
+namespace {
+
+Tensor global_avg_pool(const Tensor& t) {
+  Tensor out(t.c, 1, 1);
+  for (int c = 0; c < t.c; ++c) {
+    double s = 0.0;
+    for (int y = 0; y < t.h; ++y) {
+      for (int x = 0; x < t.w; ++x) s += t.at(c, y, x);
+    }
+    out.at(c, 0, 0) = s / (static_cast<double>(t.h) * t.w);
+  }
+  return out;
+}
+
+Tensor apply_post_ops(Tensor t, const ModelLayer& l) {
+  if (l.relu) t = relu(t);
+  switch (l.pool) {
+    case PoolOp::kNone: break;
+    case PoolOp::kMax2: t = maxpool2(t); break;
+    case PoolOp::kGlobalAvg: t = global_avg_pool(t); break;
+  }
+  return t;
+}
+
+}  // namespace
+
+Session::Session(RunSpec spec) : spec_(std::move(spec)), pool_(spec_.threads) {}
+
+ConvEngine& Session::engine_for(const DatapathConfig& dp, AccumKind accum) {
+  for (const PoolEntry& e : engines_) {
+    if (e.datapath == dp && e.accum == accum) return *e.engine;
+  }
+  ConvEngineConfig ec;
+  ec.datapath = dp;
+  ec.accum = accum;
+  ec.threads = pool_.size();
+  engines_.push_back({dp, accum, std::make_unique<ConvEngine>(ec, pool_)});
+  return *engines_.back().engine;
+}
+
+RunReport Session::run(const Model& model, const Tensor& input,
+                       const RunOptions& opts) {
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "Session::run: model '" + model.name() +
+        "' carries no weights -- shape-table models are estimate-only; build "
+        "with Model::from_layers or call materialize_weights()");
+  }
+  const std::vector<ModelLayer>& layers = model.layers();
+  if (input.c != layers.front().filters.cin) {
+    throw std::invalid_argument(
+        "Session::run: input has " + std::to_string(input.c) +
+        " channels but layer '" + layers.front().name + "' expects " +
+        std::to_string(layers.front().filters.cin));
+  }
+
+  // Resolve and validate the whole policy up front: an unsupported INT
+  // layer must be rejected before anything executes.
+  std::vector<LayerPrecision> precisions(layers.size());
+  for (size_t i = 0; i < layers.size(); ++i) {
+    precisions[i] = spec_.policy.resolve(i, layers.size(), layers[i].name);
+    const LayerPrecision& p = precisions[i];
+    if (p.kind != LayerPrecision::Kind::kInt) continue;
+    if (!probe_) probe_ = make_datapath(spec_.datapath);
+    if (!probe_->supports_int(p.a_bits, p.w_bits)) {
+      throw std::invalid_argument(
+          "Session::run: layer '" + layers[i].name + "' requests " +
+          p.to_string() + " but the " + scheme_name(spec_.datapath.scheme) +
+          " scheme does not support it" +
+          (spec_.datapath.scheme == DecompositionScheme::kSpatial
+               ? " (spatial is FP-only; pick an fp16 policy or a "
+                 "temporal/serial datapath)"
+               : ""));
+    }
+  }
+
+  RunReport report;
+  report.model = model.name();
+  report.scheme = scheme_name(spec_.datapath.scheme);
+  report.threads = pool_.size();
+
+  Tensor x = input;
+  Tensor ref = input;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const ModelLayer& l = layers[i];
+    const LayerPrecision& p = precisions[i];
+    LayerRunReport lr;
+    lr.layer = l.name;
+    lr.precision = p.to_string();
+
+    Tensor y;
+    if (p.kind == LayerPrecision::Kind::kFp16) {
+      ConvEngine& eng = engine_for(spec_.datapath, p.accum);
+      const DatapathStats before = eng.stats();
+      y = eng.conv_fp16(x, l.filters, l.spec);
+      lr.stats = eng.stats() - before;
+    } else {
+      // INT convs ignore the accumulation destination; share one engine.
+      ConvEngine& eng = engine_for(spec_.datapath, AccumKind::kFp32);
+      const DatapathStats before = eng.stats();
+      y = eng.conv_int(x, l.filters, l.spec, p.a_bits, p.w_bits);
+      lr.stats = eng.stats() - before;
+    }
+
+    x = apply_post_ops(std::move(y), l);
+    if (opts.compare_reference) {
+      ref = apply_post_ops(conv_reference(ref, l.filters, l.spec), l);
+      lr.error = compare_outputs(x, ref);
+    }
+    report.totals += lr.stats;
+    report.layers.push_back(std::move(lr));
+  }
+
+  report.output = std::move(x);
+  if (opts.compare_reference) {
+    report.end_to_end = report.layers.back().error;
+    report.reference_output = std::move(ref);
+  }
+  if (opts.with_estimate) {
+    report.estimate = estimate(model, input.h, input.w);
+  }
+  return report;
+}
+
+Tensor Session::reference(const Model& model, const Tensor& input) {
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "Session::reference: model '" + model.name() + "' carries no weights");
+  }
+  Tensor ref = input;
+  for (const ModelLayer& l : model.layers()) {
+    ref = apply_post_ops(conv_reference(ref, l.filters, l.spec), l);
+  }
+  return ref;
+}
+
+BatchRunReport Session::run_batch(const Model& model,
+                                  const std::vector<Tensor>& inputs,
+                                  const RunOptions& opts) {
+  // The estimate depends only on (model, input dims, spec): compute it once
+  // per distinct input shape instead of once per input.
+  RunOptions per_run = opts;
+  per_run.with_estimate = false;
+  std::vector<std::pair<std::pair<int, int>, NetworkSimResult>> estimates;
+
+  BatchRunReport batch;
+  batch.runs.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    batch.runs.push_back(run(model, input, per_run));
+    if (opts.with_estimate) {
+      const std::pair<int, int> dims{input.h, input.w};
+      const NetworkSimResult* cached = nullptr;
+      for (const auto& e : estimates) {
+        if (e.first == dims) {
+          cached = &e.second;
+          break;
+        }
+      }
+      if (cached == nullptr) {
+        estimates.emplace_back(dims, estimate(model, input.h, input.w));
+        cached = &estimates.back().second;
+      }
+      batch.runs.back().estimate = *cached;
+    }
+    batch.totals += batch.runs.back().totals;
+  }
+  return batch;
+}
+
+TileConfig Session::composed_tile(const TileConfig& geometry) const {
+  TileConfig t = geometry;
+  t.datapath = spec_.datapath;
+  if (t.c_unroll != spec_.datapath.n_inputs) {
+    throw std::invalid_argument(
+        "Session::estimate: tile c_unroll (" + std::to_string(t.c_unroll) +
+        ") must equal datapath n_inputs (" +
+        std::to_string(spec_.datapath.n_inputs) +
+        ") -- one RunSpec drives both paths");
+  }
+  return t;
+}
+
+NetworkSimResult Session::estimate(const Network& net) const {
+  return simulate_network(net, composed_tile(spec_.tile), spec_.sim);
+}
+
+NetworkSimResult Session::estimate(const Model& model, int input_h,
+                                   int input_w) const {
+  return estimate(model.shape_table(input_h, input_w));
+}
+
+NetworkSimResult Session::estimate(const Model& model, const TileConfig& tile,
+                                   int input_h, int input_w) const {
+  return simulate_network(model.shape_table(input_h, input_w),
+                          composed_tile(tile), spec_.sim);
+}
+
+}  // namespace mpipu

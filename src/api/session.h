@@ -1,0 +1,116 @@
+// Session: the single high-level entry point of the repo.  One RunSpec
+// {datapath, tile, policy, threads} drives BOTH evaluation paths the paper
+// uses at network granularity:
+//
+//   * the numeric path -- Session::run / run_batch execute a Model layer by
+//     layer on the bit-accurate datapath through a pooled ConvEngine
+//     (activation tensors threaded between layers, FP32 reference chain
+//     computed alongside), producing a RunReport that unifies per-layer
+//     DatapathStats, error metrics and (on request) simulated cycles;
+//   * the analytical path -- Session::estimate costs the Model's shape
+//     table on the cycle simulator with the same datapath config plugged
+//     into the tile.
+//
+// The Session owns one ThreadPool, shared by every engine in its pool;
+// engines are keyed by (DatapathConfig, AccumKind) so a mixed-precision
+// policy touching several accumulation modes still reuses datapaths and
+// threads across layers and runs.  Determinism: for a fixed spec and inputs
+// the outputs and every stats counter are identical for 1 and N threads.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/model.h"
+#include "api/precision_policy.h"
+#include "api/run_report.h"
+#include "common/thread_pool.h"
+#include "nn/conv_engine.h"
+#include "sim/cycle_sim.h"
+#include "sim/tile.h"
+
+namespace mpipu {
+
+/// The one config driving both the numeric and the cycle-sim paths.
+struct RunSpec {
+  /// Datapath of every IPU: used directly by run() and plugged into the
+  /// tile by estimate().  tile.datapath is ignored -- this is the source of
+  /// truth (the old three-config split this API replaces).
+  DatapathConfig datapath{};
+  /// Tile geometry for the cycle-sim path (unrolls, clustering, buffers).
+  /// tile.c_unroll must equal datapath.n_inputs.
+  TileConfig tile{};
+  /// Per-layer precision choices for the numeric path.
+  PrecisionPolicy policy{};
+  /// Worker count of the shared pool; <= 0 selects hardware_concurrency().
+  int threads = 1;
+  /// Sampling options for the cycle-sim path (iterations_per_op is
+  /// deprecated there; the scheme derives it).
+  SimOptions sim{};
+};
+
+struct RunOptions {
+  /// Compute the exact FP32 reference chain and per-layer error metrics.
+  bool compare_reference = true;
+  /// Also run the cycle simulator on the model's shape table and attach the
+  /// NetworkSimResult to the report.
+  bool with_estimate = false;
+};
+
+class Session {
+ public:
+  explicit Session(RunSpec spec);
+
+  const RunSpec& spec() const { return spec_; }
+  int threads() const { return pool_.size(); }
+
+  /// Full forward pass of `model` on `input`.  Throws std::invalid_argument
+  /// -- before any layer executes -- on a weightless model, an input/model
+  /// channel mismatch, or a policy asking for INT on a datapath that does
+  /// not support it (e.g. the FP-only spatial scheme).
+  RunReport run(const Model& model, const Tensor& input,
+                const RunOptions& opts = {});
+
+  /// The exact FP32 reference forward pass of the numeric path (host-double
+  /// conv chain + the model's post-ops) -- what run() compares against when
+  /// RunOptions.compare_reference is set.  Exposed so drivers sweeping many
+  /// datapath configs over the same inputs can compute it once instead of
+  /// once per sweep point.
+  static Tensor reference(const Model& model, const Tensor& input);
+
+  /// Forward passes over a batch of inputs with deterministic stats
+  /// reduction (totals are sums of per-run sums).
+  BatchRunReport run_batch(const Model& model,
+                           const std::vector<Tensor>& inputs,
+                           const RunOptions& opts = {});
+
+  /// Cycle-sim estimate of the model's shape table on spec().tile with
+  /// spec().datapath plugged in.  Ad-hoc layer models need the input
+  /// spatial dims to derive their table; shape-table models ignore them.
+  NetworkSimResult estimate(const Model& model, int input_h = 0,
+                            int input_w = 0) const;
+  /// Same, with an explicit tile geometry overriding spec().tile.
+  NetworkSimResult estimate(const Model& model, const TileConfig& tile,
+                            int input_h = 0, int input_w = 0) const;
+  /// Lowest-level overload: estimate an explicit shape table.
+  NetworkSimResult estimate(const Network& net) const;
+
+ private:
+  ConvEngine& engine_for(const DatapathConfig& dp, AccumKind accum);
+  TileConfig composed_tile(const TileConfig& geometry) const;
+
+  RunSpec spec_;
+  ThreadPool pool_;
+  /// Lazily built throwaway unit used only to answer supports_int() during
+  /// up-front policy validation (kept so batches don't rebuild it per run).
+  std::unique_ptr<Datapath> probe_;
+  struct PoolEntry {
+    DatapathConfig datapath;
+    AccumKind accum;
+    std::unique_ptr<ConvEngine> engine;
+  };
+  std::vector<PoolEntry> engines_;
+};
+
+}  // namespace mpipu

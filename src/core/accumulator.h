@@ -39,6 +39,8 @@ struct AccumulatorConfig {
   bool lossless = false;
 
   int register_width() const { return 3 + frac_bits + t + l; }
+
+  friend bool operator==(const AccumulatorConfig&, const AccumulatorConfig&) = default;
 };
 
 class Accumulator {

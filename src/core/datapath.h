@@ -63,6 +63,24 @@ struct DatapathConfig {
   bool skip_zero_iterations = false;
   AccumulatorConfig accumulator{};
 
+  /// Preset matching the scheme's *standalone* config defaults, defusing the
+  /// skip_empty_bands footgun above: spatial gets occupied-band counting
+  /// (SpatialIpuConfig's default), temporal/serial get the literal Fig. 5
+  /// serve loop.  Start from this when porting scheme-specific code.
+  static DatapathConfig for_scheme(DecompositionScheme s) {
+    DatapathConfig c;
+    c.scheme = s;
+    c.skip_empty_bands = s == DecompositionScheme::kSpatial;
+    return c;
+  }
+  /// Shorthand for for_scheme(kSpatial): a default-knob spatial datapath
+  /// that cycle-counts like a directly constructed SpatialIpu.
+  static DatapathConfig spatial_defaults() {
+    return for_scheme(DecompositionScheme::kSpatial);
+  }
+
+  friend bool operator==(const DatapathConfig&, const DatapathConfig&) = default;
+
   /// Bits one lane product occupies in the adder-tree window (9-bit nibble
   /// product + guard for temporal/spatial; 13-bit serial product).
   int product_window_bits() const {
@@ -102,6 +120,21 @@ struct DatapathStats {
     multi_cycle_ops += o.multi_cycle_ops;
     skipped_iterations += o.skipped_iterations;
     return *this;
+  }
+  DatapathStats& operator-=(const DatapathStats& o) {
+    fp_ops -= o.fp_ops;
+    int_ops -= o.int_ops;
+    cycles -= o.cycles;
+    nibble_iterations -= o.nibble_iterations;
+    masked_products -= o.masked_products;
+    multi_cycle_ops -= o.multi_cycle_ops;
+    skipped_iterations -= o.skipped_iterations;
+    return *this;
+  }
+  /// Counter delta (e.g. per-layer work = after - before on a running unit).
+  friend DatapathStats operator-(DatapathStats a, const DatapathStats& b) {
+    a -= b;
+    return a;
   }
   friend bool operator==(const DatapathStats&, const DatapathStats&) = default;
 };

@@ -104,9 +104,19 @@ Tensor run_conv(ThreadPool& pool, std::vector<std::unique_ptr<Datapath>>& units,
 }  // namespace
 
 ConvEngine::ConvEngine(const ConvEngineConfig& cfg)
-    : cfg_(cfg), pool_(cfg.threads) {
-  units_.reserve(static_cast<size_t>(pool_.size()));
-  for (int slot = 0; slot < pool_.size(); ++slot) {
+    : cfg_(cfg),
+      owned_pool_(std::make_unique<ThreadPool>(cfg.threads)),
+      pool_(owned_pool_.get()) {
+  units_.reserve(static_cast<size_t>(pool_->size()));
+  for (int slot = 0; slot < pool_->size(); ++slot) {
+    units_.push_back(make_datapath(cfg_.datapath));
+  }
+}
+
+ConvEngine::ConvEngine(const ConvEngineConfig& cfg, ThreadPool& pool)
+    : cfg_(cfg), pool_(&pool) {
+  units_.reserve(static_cast<size_t>(pool_->size()));
+  for (int slot = 0; slot < pool_->size(); ++slot) {
     units_.push_back(make_datapath(cfg_.datapath));
   }
 }
@@ -127,7 +137,7 @@ Tensor ConvEngine::conv_fp16(const Tensor& input, const FilterBank& filters,
 
   const bool to_fp16 = cfg_.accum == AccumKind::kFp16;
   return run_conv<Fp16>(
-      pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in16, flt16,
+      *pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in16, flt16,
       [](Datapath& dp, std::span<const Fp16> a, std::span<const Fp16> b) {
         dp.fp16_accumulate(a, b);
       },
@@ -152,7 +162,7 @@ Tensor ConvEngine::conv_int(const Tensor& input, const FilterBank& filters,
   const std::vector<int32_t> flt_q = quantize(filters.data, qw);
 
   return run_conv<int32_t>(
-      pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in_q, flt_q,
+      *pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in_q, flt_q,
       [a_bits, w_bits](Datapath& dp, std::span<const int32_t> a,
                        std::span<const int32_t> b) {
         dp.int_accumulate(a, b, a_bits, w_bits);

@@ -44,10 +44,15 @@ struct ConvEngineConfig {
 
 class ConvEngine {
  public:
+  /// Owns a private thread pool sized by cfg.threads.
   explicit ConvEngine(const ConvEngineConfig& cfg);
+  /// Shares `pool` with other engines (e.g. a Session's engine pool);
+  /// cfg.threads is ignored, one datapath is created per pool slot.  The
+  /// pool must outlive the engine.
+  ConvEngine(const ConvEngineConfig& cfg, ThreadPool& pool);
 
   const ConvEngineConfig& config() const { return cfg_; }
-  int threads() const { return pool_.size(); }
+  int threads() const { return pool_->size(); }
 
   /// FP16 convolution: operands rounded to FP16 once, every inner product
   /// executed on the scheme's datapath, partial sums held in the datapath
@@ -73,7 +78,8 @@ class ConvEngine {
 
  private:
   ConvEngineConfig cfg_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null when sharing a pool
+  ThreadPool* pool_;
   /// One private datapath per worker slot (index = slot).
   std::vector<std::unique_ptr<Datapath>> units_;
 };

@@ -55,9 +55,8 @@ NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
   const int per_cluster = tile.ipus_per_cluster;
   const int spatial_copies = tile.h_unroll * tile.w_unroll;
   const int B = tile.input_buffer_depth;
-  const int iters_per_op = opts.iterations_per_op > 0
-                               ? opts.iterations_per_op
-                               : fp16_iterations_per_op(tile.datapath.scheme);
+  const int iters_per_op =
+      opts.effective_iterations_per_op(tile.datapath.scheme);
 
   for (const auto& layer : net.layers) {
     const int64_t steps_total = layer_broadcast_steps(layer, tile) * layer.repeat;

@@ -145,6 +145,45 @@ TEST(AlignmentHistogramTest, ForwardConcentratedBackwardWide) {
   EXPECT_GT(bwd.fraction_above(8), fwd.fraction_above(8) * 3);
 }
 
+TEST(SimOptionsDeprecation, IterationsPerOpDerivesFromSchemeByDefault) {
+  // The deprecated override is folded into one derivation point.
+  const SimOptions opts;
+  EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kTemporal), 9);
+  EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kSerial), 12);
+  EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kSpatial), 1);
+  SimOptions legacy;
+  legacy.iterations_per_op = 4;
+  EXPECT_EQ(legacy.effective_iterations_per_op(DecompositionScheme::kTemporal), 4);
+}
+
+TEST(SimOptionsDeprecation, ExplicitSchemeBaseEqualsDerived) {
+  // Setting the deprecated field to the scheme's own base count must be a
+  // no-op vs leaving it at 0.
+  SimOptions derived;
+  derived.sampled_steps = 300;
+  SimOptions legacy = derived;
+  legacy.iterations_per_op = 9;  // temporal base
+  const Network net = tiny_net(forward_stats());
+  const TileConfig tile = big_tile(16, 28, 16);
+  EXPECT_EQ(simulate_network(net, tile, derived).total_cycles,
+            simulate_network(net, tile, legacy).total_cycles);
+}
+
+TEST(SimOptionsDeprecation, LegacyOverrideStillRescalesOps) {
+  // Legacy callers (e.g. 4-iteration BF16 ops) still get the rescale; the
+  // op service time is linear in the base step count, and with every
+  // service >= issue rate the totals scale exactly.
+  SimOptions base;
+  base.sampled_steps = 300;
+  SimOptions doubled = base;
+  doubled.iterations_per_op = 18;
+  const Network net = tiny_net(forward_stats());
+  const TileConfig tile = big_tile(16, 28, 16);
+  const auto r1 = simulate_network(net, tile, base);
+  const auto r2 = simulate_network(net, tile, doubled);
+  EXPECT_NEAR(r2.total_cycles / r1.total_cycles, 2.0, 1e-9);
+}
+
 TEST(CycleSim, StallFractionBoundedAndBuffersHelp) {
   SimOptions opts;
   opts.sampled_steps = 500;

@@ -50,8 +50,9 @@ AccumulatorConfig unbounded_acc() {
 }
 
 DatapathConfig base_config(DecompositionScheme scheme, int w) {
-  DatapathConfig cfg;
-  cfg.scheme = scheme;
+  // for_scheme matches each scheme's standalone defaults (spatial gets
+  // skip_empty_bands, the footgun the preset exists to defuse).
+  DatapathConfig cfg = DatapathConfig::for_scheme(scheme);
   cfg.n_inputs = 16;
   cfg.adder_tree_width = w;
   cfg.software_precision = 28;
@@ -110,8 +111,11 @@ TEST(DatapathWrapping, SerialBitMatchesDirectSerialIpu) {
 TEST(DatapathWrapping, SpatialBitMatchesDirectSpatialIpu) {
   Rng rng(3);
   for (int w : {16, 28, 40}) {
-    DatapathConfig cfg = base_config(DecompositionScheme::kSpatial, w);
-    cfg.skip_empty_bands = true;
+    // base_config routes through DatapathConfig::for_scheme, so a spatial
+    // config cycle-counts like a directly constructed SpatialIpu without
+    // touching skip_empty_bands by hand.
+    const DatapathConfig cfg = base_config(DecompositionScheme::kSpatial, w);
+    EXPECT_TRUE(cfg.skip_empty_bands);
     auto dp = make_datapath(cfg);
     SpatialIpuConfig scfg;
     scfg.n_inputs = cfg.n_inputs;
@@ -141,6 +145,17 @@ TEST(DatapathWrapping, SerialWidthIsClampedToProductWidth) {
   const auto a = random_fp16_bits(rng, 16);
   const auto b = random_fp16_bits(rng, 16);
   EXPECT_GE(dp->dot(a, b).cycles, 12);
+}
+
+TEST(DatapathPresets, ForSchemeMatchesStandaloneDefaults) {
+  EXPECT_FALSE(DatapathConfig::for_scheme(DecompositionScheme::kTemporal)
+                   .skip_empty_bands);
+  EXPECT_FALSE(DatapathConfig::for_scheme(DecompositionScheme::kSerial)
+                   .skip_empty_bands);
+  const DatapathConfig sp = DatapathConfig::spatial_defaults();
+  EXPECT_EQ(sp.scheme, DecompositionScheme::kSpatial);
+  EXPECT_TRUE(sp.skip_empty_bands);
+  EXPECT_EQ(sp, DatapathConfig::for_scheme(DecompositionScheme::kSpatial));
 }
 
 // --- Cross-scheme agreement (§5 orthogonality at the value level) ------------
@@ -219,8 +234,8 @@ TEST(DatapathCostModel, ServiceCyclesMatchBitAccurateUnits) {
   Rng rng(8);
   for (auto scheme : kAllSchemes) {
     for (int w : {14, 16, 28}) {
-      DatapathConfig cfg = base_config(scheme, w);
-      cfg.skip_empty_bands = scheme == DecompositionScheme::kSpatial;
+      const DatapathConfig cfg = base_config(scheme, w);  // preset handles
+                                                          // skip_empty_bands
       auto dp = make_datapath(cfg);
       std::vector<int> exps(16);
       for (int t = 0; t < 400; ++t) {

@@ -1,0 +1,327 @@
+// Tests for the high-level Session/RunSpec API (src/api):
+//
+//  * Session::run is bit-exact vs the equivalent hand-wired ConvEngine
+//    layer chain (the facade adds no numeric behaviour of its own);
+//  * run_batch determinism: 1 thread and N threads produce identical
+//    output tensors and identical stats reductions;
+//  * PrecisionPolicy dispatch: INT layers on the FP-only spatial datapath
+//    are rejected with a clear error before anything executes;
+//  * Session::estimate reproduces simulate_network for the same config
+//    (one RunSpec drives both paths);
+//  * Model construction/validation and RunReport JSON emission.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/session.h"
+#include "common/rng.h"
+
+namespace mpipu {
+namespace {
+
+DatapathConfig small_datapath(DecompositionScheme scheme = DecompositionScheme::kTemporal) {
+  DatapathConfig cfg = DatapathConfig::for_scheme(scheme);
+  cfg.n_inputs = 16;
+  cfg.adder_tree_width = 16;
+  cfg.software_precision = 28;
+  cfg.multi_cycle = true;
+  return cfg;
+}
+
+/// Tiny 3-layer CNN with real weights: fp16 -> int8 -> fp16 under the
+/// mixed policy used below.
+Model tiny_model(Rng& rng) {
+  std::vector<ModelLayer> layers(3);
+  layers[0].name = "conv1";
+  layers[0].filters = random_filters(rng, 6, 3, 3, 3, ValueDist::kNormal, 0.3);
+  layers[0].spec.pad = 1;
+  layers[0].relu = true;
+  layers[1].name = "conv2";
+  layers[1].filters = random_filters(rng, 8, 6, 3, 3, ValueDist::kNormal, 0.15);
+  layers[1].spec.pad = 1;
+  layers[1].relu = true;
+  layers[1].pool = PoolOp::kMax2;
+  layers[2].name = "head";
+  layers[2].filters = random_filters(rng, 4, 8, 1, 1, ValueDist::kNormal, 0.2);
+  return Model::from_layers("tiny3", std::move(layers));
+}
+
+PrecisionPolicy mixed_policy() {
+  PrecisionPolicy policy = PrecisionPolicy::all_fp16(AccumKind::kFp32);
+  policy.set_layer("conv2", LayerPrecision::int_bits(8, 8));
+  return policy;
+}
+
+TEST(SessionRun, BitExactVsHandWiredConvEngineChain) {
+  Rng rng(21);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 12, 12, ValueDist::kHalfNormal, 1.0);
+
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.policy = mixed_policy();
+  spec.threads = 1;
+  Session session(spec);
+  const RunReport report = session.run(model, input);
+
+  // The equivalent hand-wired chain on one ConvEngine.
+  ConvEngineConfig ec;
+  ec.datapath = spec.datapath;
+  ec.accum = AccumKind::kFp32;
+  ec.threads = 1;
+  ConvEngine engine(ec);
+  const auto& layers = model.layers();
+  Tensor x = relu(engine.conv_fp16(input, layers[0].filters, layers[0].spec));
+  x = maxpool2(relu(engine.conv_int(x, layers[1].filters, layers[1].spec, 8, 8)));
+  x = engine.conv_fp16(x, layers[2].filters, layers[2].spec);
+
+  ASSERT_EQ(report.output.data.size(), x.data.size());
+  for (size_t i = 0; i < x.data.size(); ++i) {
+    EXPECT_EQ(report.output.data[i], x.data[i]) << "elt " << i;
+  }
+  EXPECT_EQ(report.totals, engine.stats());
+  ASSERT_EQ(report.layers.size(), 3u);
+  EXPECT_EQ(report.layers[0].precision, "fp16+fp32acc");
+  EXPECT_EQ(report.layers[1].precision, "int8x8");
+  EXPECT_GT(report.layers[1].stats.int_ops, 0);
+  EXPECT_EQ(report.layers[1].stats.fp_ops, 0);
+  EXPECT_GT(report.end_to_end.snr_db, 20.0);
+}
+
+TEST(SessionRunBatch, ThreadCountInvariantTensorsAndStats) {
+  Rng rng(22);
+  const Model model = tiny_model(rng);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0));
+  }
+
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.policy = mixed_policy();
+  spec.threads = 1;
+  Session s1(spec);
+  spec.threads = 3;
+  Session s3(spec);
+
+  const BatchRunReport b1 = s1.run_batch(model, inputs);
+  const BatchRunReport b3 = s3.run_batch(model, inputs);
+  ASSERT_EQ(b1.runs.size(), inputs.size());
+  ASSERT_EQ(b3.runs.size(), inputs.size());
+  EXPECT_EQ(b1.totals, b3.totals);
+  for (size_t r = 0; r < inputs.size(); ++r) {
+    const RunReport& r1 = b1.runs[r];
+    const RunReport& r3 = b3.runs[r];
+    ASSERT_EQ(r1.output.data.size(), r3.output.data.size());
+    for (size_t i = 0; i < r1.output.data.size(); ++i) {
+      EXPECT_EQ(r1.output.data[i], r3.output.data[i]) << "run " << r << " elt " << i;
+    }
+    ASSERT_EQ(r1.layers.size(), r3.layers.size());
+    for (size_t l = 0; l < r1.layers.size(); ++l) {
+      EXPECT_EQ(r1.layers[l].stats, r3.layers[l].stats) << "run " << r << " layer " << l;
+    }
+  }
+}
+
+TEST(SessionRun, RejectsIntLayerOnSpatialDatapath) {
+  Rng rng(23);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 8, 8, ValueDist::kHalfNormal, 1.0);
+
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kSpatial);
+  spec.policy = mixed_policy();  // conv2 wants INT8x8
+  Session session(spec);
+  try {
+    session.run(model, input);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("conv2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("int8x8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("spatial"), std::string::npos) << msg;
+  }
+
+  // The same model runs fine on spatial with an all-FP16 policy.
+  spec.policy = PrecisionPolicy::all_fp16();
+  Session fp_session(spec);
+  EXPECT_GT(fp_session.run(model, input).totals.fp_ops, 0);
+}
+
+TEST(SessionEstimate, ReproducesSimulateNetworkForSameConfig) {
+  Network net;
+  net.name = "tiny";
+  net.tensor_stats = forward_stats();
+  ConvLayer l;
+  l.name = "L";
+  l.cin = 64;
+  l.cout = 64;
+  l.kh = l.kw = 3;
+  l.hout = l.wout = 14;
+  net.layers = {l};
+
+  const TileConfig tile = big_tile(16, 28, 16);
+  SimOptions opts;
+  opts.sampled_steps = 300;
+
+  RunSpec spec;
+  spec.datapath = tile.datapath;
+  spec.tile = tile;
+  spec.sim = opts;
+  Session session(spec);
+
+  const NetworkSimResult direct = simulate_network(net, tile, opts);
+  const NetworkSimResult api = session.estimate(Model::from_network(net));
+  EXPECT_EQ(api.total_cycles, direct.total_cycles);
+  ASSERT_EQ(api.layers.size(), direct.layers.size());
+  EXPECT_EQ(api.layers[0].cycles_per_step, direct.layers[0].cycles_per_step);
+}
+
+TEST(SessionEstimate, AdHocModelDerivesShapeTable) {
+  Rng rng(24);
+  const Model model = tiny_model(rng);
+  const Network table = model.shape_table(12, 12);
+  ASSERT_EQ(table.layers.size(), 3u);
+  EXPECT_EQ(table.layers[0].hout, 12);  // pad-1 3x3 keeps dims
+  EXPECT_EQ(table.layers[1].hout, 12);
+  EXPECT_EQ(table.layers[2].hout, 6);   // conv2's maxpool halves dims
+  EXPECT_EQ(table.layers[2].cin, 8);
+
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.tile = big_tile(16, 28);
+  spec.sim.sampled_steps = 100;
+  Session session(spec);
+  const NetworkSimResult r = session.estimate(model, 12, 12);
+  EXPECT_GT(r.total_cycles, 0.0);
+  EXPECT_EQ(r.layers.size(), 3u);
+
+  // Ad-hoc models need input dims to derive the table.
+  EXPECT_THROW(session.estimate(model), std::invalid_argument);
+  // Mismatched tile/datapath widths are rejected: one RunSpec, one n.
+  RunSpec bad = spec;
+  bad.tile = small_tile(16, 28);  // c_unroll = 8 != n_inputs = 16
+  EXPECT_THROW(Session(bad).estimate(model, 12, 12), std::invalid_argument);
+}
+
+TEST(SessionRun, WithEstimateAttachesSimResult) {
+  Rng rng(25);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 12, 12, ValueDist::kHalfNormal, 1.0);
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.tile = big_tile(16, 28);
+  spec.sim.sampled_steps = 100;
+  Session session(spec);
+  RunOptions opts;
+  opts.with_estimate = true;
+  const RunReport report = session.run(model, input, opts);
+  ASSERT_TRUE(report.estimate.has_value());
+  EXPECT_GT(report.estimate->total_cycles, 0.0);
+  EXPECT_EQ(report.estimate->layers.size(), 3u);
+}
+
+TEST(ModelValidation, RejectsBadConstructions) {
+  EXPECT_THROW(Model::from_layers("empty", {}), std::invalid_argument);
+
+  Rng rng(26);
+  std::vector<ModelLayer> broken(2);
+  broken[0].name = "a";
+  broken[0].filters = random_filters(rng, 4, 3, 3, 3, ValueDist::kNormal, 0.2);
+  broken[1].name = "b";
+  broken[1].filters = random_filters(rng, 4, 5, 3, 3, ValueDist::kNormal, 0.2);
+  EXPECT_THROW(Model::from_layers("broken", std::move(broken)),
+               std::invalid_argument);
+
+  // Shape-table models are estimate-only until weights are materialized.
+  Network net;
+  net.name = "chain";
+  net.tensor_stats = forward_stats();
+  ConvLayer l;
+  l.cin = 4;
+  l.cout = 4;
+  l.kh = l.kw = 3;
+  l.hout = l.wout = 8;
+  l.name = "c1";
+  net.layers.push_back(l);
+  l.name = "c2";
+  net.layers.push_back(l);
+  Model shape_model = Model::from_network(net);
+  EXPECT_FALSE(shape_model.has_weights());
+
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  Session session(spec);
+  const Tensor input(4, 8, 8);
+  EXPECT_THROW(session.run(shape_model, input), std::invalid_argument);
+
+  shape_model.materialize_weights(7);
+  ASSERT_TRUE(shape_model.has_weights());
+  EXPECT_EQ(session.run(shape_model, input).layers.size(), 2u);
+
+  // Branchy tables (repeat > 1) cannot be materialized.
+  net.layers[0].repeat = 2;
+  Model branchy = Model::from_network(net);
+  EXPECT_THROW(branchy.materialize_weights(7), std::invalid_argument);
+
+  // Rows chaining on channels but not spatially under same-padding are
+  // rejected too: run() and estimate() would silently disagree on shapes.
+  Network skewed;
+  skewed.name = "skewed";
+  skewed.tensor_stats = forward_stats();
+  ConvLayer s = l;
+  s.repeat = 1;
+  s.name = "s1";
+  skewed.layers.push_back(s);
+  s.name = "s2";
+  s.hout = s.wout = 6;  // recorded without padding; same-pad would give 8
+  skewed.layers.push_back(s);
+  EXPECT_THROW(Model::from_network(skewed).materialize_weights(7),
+               std::invalid_argument);
+}
+
+TEST(PrecisionPolicyTest, PresetsAndOverridePriority) {
+  const PrecisionPolicy p = PrecisionPolicy::int8_except_first_last();
+  EXPECT_EQ(p.resolve(0, 4, "a"), LayerPrecision::fp16(AccumKind::kFp32));
+  EXPECT_EQ(p.resolve(3, 4, "d"), LayerPrecision::fp16(AccumKind::kFp32));
+  EXPECT_EQ(p.resolve(1, 4, "b"), LayerPrecision::int_bits(8, 8));
+
+  PrecisionPolicy q = PrecisionPolicy::int8_except_first_last();
+  q.set_layer("b", LayerPrecision::int_bits(4, 4));
+  q.set_layer(size_t{0}, LayerPrecision::fp16(AccumKind::kFp16));
+  EXPECT_EQ(q.resolve(1, 4, "b"), LayerPrecision::int_bits(4, 4));
+  EXPECT_EQ(q.resolve(0, 4, "a"), LayerPrecision::fp16(AccumKind::kFp16));
+
+  EXPECT_EQ(LayerPrecision::fp16(AccumKind::kFp16).to_string(), "fp16+fp16acc");
+  EXPECT_EQ(LayerPrecision::int_bits(4, 8).to_string(), "int4x8");
+}
+
+TEST(RunReportJson, EmitsStructuredDocument) {
+  Rng rng(27);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 8, 8, ValueDist::kHalfNormal, 1.0);
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.policy = mixed_policy();
+  Session session(spec);
+  const RunReport report = session.run(model, input);
+
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key : {"\"model\"", "\"scheme\"", "\"totals\"", "\"cycles\"",
+                          "\"end_to_end\"", "\"snr_db\"", "\"layers\"",
+                          "\"precision\"", "\"int8x8\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Compact mode emits no newlines.
+  EXPECT_EQ(report.to_json(0).find('\n'), std::string::npos);
+
+  BatchRunReport batch = session.run_batch(model, {input});
+  const std::string bjson = batch.to_json();
+  EXPECT_NE(bjson.find("\"batch\""), std::string::npos);
+  EXPECT_NE(bjson.find("\"runs\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpipu
