@@ -1,17 +1,37 @@
 // Wall-clock comparison of the convolution paths on the quickstart-style
-// workload: the seed's legacy single-threaded per-pixel loop (re-created
-// here verbatim as the "before" baseline), the engine at 1 thread, and the
-// engine at >= 4 threads.  Verifies all paths produce bit-identical output
-// before timing them.
+// workload, tracking the perf trajectory of the conv hot loop:
 //
-//   ./bench/bench_conv_engine
+//   * the seed's legacy single-threaded per-pixel loop (re-created here
+//     verbatim as the "before everything" baseline; temporal scheme only),
+//   * the PR 2 per-op engine loop (re-created here verbatim: per-pixel
+//     patch gather of Fp16 values, per-op decode + decompose + allocating
+//     EHU inside each scheme's original fp_accumulate entry point),
+//   * the prepared-operand ConvEngine (decode once, allocate never) at 1
+//     and hardware_concurrency threads,
+//
+// for every decomposition scheme.  Verifies all paths produce bit-identical
+// tensors and matching cycle/op counts before timing them.
+//
+//   ./bench_conv_engine [--smoke] [--json [path]]
+//
+// --smoke shrinks the workload for CI; --json writes the numbers (plus the
+// prepared-vs-per-op and prepared-vs-legacy speedups) to BENCH_conv.json
+// (or the given path) through the repo's single JSON emitter.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "api/json.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "core/serial_ipu.h"
+#include "core/spatial_ipu.h"
 #include "nn/conv.h"
 
 namespace mpipu {
@@ -62,6 +82,158 @@ Tensor legacy_conv_ipu_fp16(const Tensor& input, const FilterBank& filters,
   return out;
 }
 
+// --- PR 2 per-op engine loop, re-created as the per-scheme baseline ---------
+
+/// Patch geometry of one output pixel (PR 2's gather): flat input indices
+/// and filter-block offsets in the canonical ky -> kx -> ci order.
+struct PatchIndices {
+  std::vector<int32_t> input;
+  std::vector<int32_t> filter_off;
+
+  void build(const Tensor& input_t, const FilterBank& f, const ConvSpec& spec,
+             int y, int x) {
+    input.clear();
+    filter_off.clear();
+    for (int ky = 0; ky < f.kh; ++ky) {
+      for (int kx = 0; kx < f.kw; ++kx) {
+        const int iy = y * spec.stride + ky - spec.pad;
+        const int ix = x * spec.stride + kx - spec.pad;
+        if (iy < 0 || iy >= input_t.h || ix < 0 || ix >= input_t.w) continue;
+        for (int ci = 0; ci < input_t.c; ++ci) {
+          input.push_back(
+              static_cast<int32_t>((static_cast<size_t>(ci) * input_t.h + iy) *
+                                       static_cast<size_t>(input_t.w) +
+                                   ix));
+          filter_off.push_back(static_cast<int32_t>(
+              (static_cast<size_t>(ci) * f.kh + ky) * static_cast<size_t>(f.kw) +
+              kx));
+        }
+      }
+    }
+  }
+};
+
+/// One per-op unit: reset / accumulate-a-chunk / read, plus the counters
+/// the bit-identity check compares against the prepared engine.  Owns the
+/// underlying scheme instance (only the scheme under test is constructed).
+struct PerOpUnit {
+  std::shared_ptr<void> holder;
+  std::function<void()> reset;
+  std::function<void(std::span<const Fp16>, std::span<const Fp16>)> accumulate;
+  std::function<double()> read_fp32;
+  std::function<int64_t()> cycles;
+  std::function<int64_t()> fp_ops;
+};
+
+PerOpUnit make_per_op_unit(const DatapathConfig& cfg) {
+  switch (cfg.scheme) {
+    case DecompositionScheme::kTemporal: {
+      IpuConfig c;
+      c.n_inputs = cfg.n_inputs;
+      c.adder_tree_width = cfg.effective_adder_tree_width();
+      c.software_precision = cfg.software_precision;
+      c.multi_cycle = cfg.multi_cycle;
+      c.skip_empty_bands = cfg.skip_empty_bands;
+      auto ipu = std::make_shared<Ipu>(c);
+      return {ipu,
+              [ipu] { ipu->reset_accumulator(); },
+              [ipu](std::span<const Fp16> a, std::span<const Fp16> b) {
+                ipu->fp_accumulate<kFp16Format>(a, b);
+              },
+              [ipu] { return ipu->read_fp<kFp32Format>().to_double(); },
+              [ipu] { return ipu->stats().cycles; },
+              [ipu] { return ipu->stats().fp_ops; }};
+    }
+    case DecompositionScheme::kSerial: {
+      SerialIpuConfig c;
+      c.n_inputs = cfg.n_inputs;
+      c.adder_tree_width = cfg.effective_adder_tree_width();
+      c.software_precision = cfg.software_precision;
+      c.multi_cycle = cfg.multi_cycle;
+      auto ipu = std::make_shared<SerialIpu>(c);
+      return {ipu,
+              [ipu] { ipu->reset_accumulator(); },
+              [ipu](std::span<const Fp16> a, std::span<const Fp16> b) {
+                ipu->fp_accumulate(a, b);
+              },
+              [ipu] { return ipu->read_fp<kFp32Format>().to_double(); },
+              [ipu] { return ipu->stats().cycles; },
+              [ipu] { return ipu->stats().fp_ops; }};
+    }
+    case DecompositionScheme::kSpatial: {
+      SpatialIpuConfig c;
+      c.n_inputs = cfg.n_inputs;
+      c.adder_tree_width = cfg.effective_adder_tree_width();
+      c.software_precision = cfg.software_precision;
+      c.multi_cycle = cfg.multi_cycle;
+      c.skip_empty_bands = cfg.skip_empty_bands;
+      auto ipu = std::make_shared<SpatialIpu>(c);
+      return {ipu,
+              [ipu] { ipu->reset_accumulator(); },
+              [ipu](std::span<const Fp16> a, std::span<const Fp16> b) {
+                ipu->fp_accumulate<kFp16Format>(a, b);
+              },
+              [ipu] { return ipu->read_fp<kFp32Format>().to_double(); },
+              [ipu] { return ipu->stats().cycles; },
+              [ipu] { return ipu->stats().fp_ops; }};
+    }
+  }
+  return {};
+}
+
+/// PR 2's ConvEngine::conv_fp16 inner loop, single-threaded: tensors
+/// rounded to FP16 once, every pixel's operand stream gathered through
+/// PatchIndices, every chunk run through the scheme's original per-op
+/// entry point (per-op decode + decompose + allocating EHU).
+Tensor per_op_conv_fp16(const PerOpUnit& unit, int n_inputs, const Tensor& input,
+                        const FilterBank& filters, const ConvSpec& spec) {
+  std::vector<Fp16> in16(input.data.size());
+  for (size_t i = 0; i < input.data.size(); ++i) {
+    in16[i] = Fp16::from_double(input.data[i]);
+  }
+  std::vector<Fp16> flt16(filters.data.size());
+  for (size_t i = 0; i < filters.data.size(); ++i) {
+    flt16[i] = Fp16::from_double(filters.data[i]);
+  }
+
+  const int ho = spec.out_dim(input.h, filters.kh);
+  const int wo = spec.out_dim(input.w, filters.kw);
+  Tensor out(filters.cout, ho, wo);
+  const size_t filter_block =
+      static_cast<size_t>(filters.cin) * filters.kh * filters.kw;
+  PatchIndices patch;
+  std::vector<Fp16> pa, pb;
+  for (int64_t p = 0; p < static_cast<int64_t>(ho) * wo; ++p) {
+    const int y = static_cast<int>(p / wo);
+    const int x = static_cast<int>(p % wo);
+    patch.build(input, filters, spec, y, x);
+    const int len = static_cast<int>(patch.input.size());
+    pa.resize(static_cast<size_t>(len));
+    pb.resize(static_cast<size_t>(len));
+    for (int t = 0; t < len; ++t) {
+      pa[static_cast<size_t>(t)] =
+          in16[static_cast<size_t>(patch.input[static_cast<size_t>(t)])];
+    }
+    for (int co = 0; co < filters.cout; ++co) {
+      const size_t base = static_cast<size_t>(co) * filter_block;
+      for (int t = 0; t < len; ++t) {
+        pb[static_cast<size_t>(t)] =
+            flt16[base +
+                  static_cast<size_t>(patch.filter_off[static_cast<size_t>(t)])];
+      }
+      unit.reset();
+      for (int c0 = 0; c0 < len; c0 += n_inputs) {
+        const auto chunk = static_cast<size_t>(std::min(n_inputs, len - c0));
+        unit.accumulate(
+            std::span<const Fp16>(pa).subspan(static_cast<size_t>(c0), chunk),
+            std::span<const Fp16>(pb).subspan(static_cast<size_t>(c0), chunk));
+      }
+      out.at(co, y, x) = unit.read_fp32();
+    }
+  }
+  return out;
+}
+
 double time_seconds(const std::function<Tensor()>& fn, Tensor* out) {
   const auto t0 = std::chrono::steady_clock::now();
   *out = fn();
@@ -69,71 +241,162 @@ double time_seconds(const std::function<Tensor()>& fn, Tensor* out) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
+bool tensors_identical(const Tensor& a, const Tensor& b) {
+  if (a.data.size() != b.data.size()) return false;
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    if (a.data[i] != b.data[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace mpipu
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpipu;
-  bench::title("ConvEngine vs legacy single-threaded conv_ipu_fp16");
 
-  // Quickstart-style workload scaled to a measurable size: MC-IPU(16),
-  // FP32-grade software precision.
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                          : "BENCH_conv.json";
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json [path]]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::title("Prepared-operand ConvEngine vs per-op loop vs legacy seed loop");
+
+  // Quickstart-style workload (MC-IPU(16), FP32-grade software precision);
+  // --smoke shrinks it so CI can afford every scheme on every push.
   Rng rng(42);
-  const Tensor input = random_tensor(rng, 16, 32, 32, ValueDist::kNormal, 1.0);
+  const int ci = smoke ? 6 : 16, hw_dim = smoke ? 12 : 32, co = smoke ? 6 : 16;
+  const Tensor input =
+      random_tensor(rng, ci, hw_dim, hw_dim, ValueDist::kNormal, 1.0);
   const FilterBank filters =
-      random_filters(rng, 16, 16, 3, 3, ValueDist::kNormal, 0.2);
+      random_filters(rng, co, ci, 3, 3, ValueDist::kNormal, 0.2);
   ConvSpec spec;
   spec.pad = 1;
 
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("workload: %dx%dx%d input, %d filters 3x3, pad 1 (%d output "
+              "values); hardware_concurrency = %d%s\n\n",
+              ci, hw_dim, hw_dim, co, co * hw_dim * hw_dim, hw,
+              smoke ? "; --smoke" : "");
+
+  Json root = Json::object();
+  root.set("bench", "conv_engine");
+  root.set("smoke", smoke);
+  Json workload = Json::object();
+  workload.set("input", std::to_string(ci) + "x" + std::to_string(hw_dim) + "x" +
+                            std::to_string(hw_dim));
+  workload.set("filters", std::to_string(co) + "x" + std::to_string(ci) + "x3x3");
+  workload.set("pad", 1);
+  root.set("workload", std::move(workload));
+  root.set("hardware_concurrency", hw);
+  Json schemes_json = Json::array();
+
+  bench::Table table({"scheme", "path", "wall seconds", "speedup vs per-op"});
+  bool all_identical = true;
+  int rc = 0;
+
+  // Legacy seed loop: temporal only (the seed had no other scheme).
   IpuConfig icfg;
   icfg.n_inputs = 16;
   icfg.adder_tree_width = 16;
   icfg.software_precision = 28;
   icfg.multi_cycle = true;
-
-  const int hw = std::max(1u, std::thread::hardware_concurrency());
-  std::printf("workload: 16x32x32 input, 16 filters 3x3, pad 1 "
-              "(%d output values); hardware_concurrency = %d\n\n",
-              16 * 32 * 32, hw);
-
-  Tensor legacy_out, engine1_out, engine4_out, enginehw_out;
+  Tensor legacy_out;
   const double t_legacy = time_seconds(
       [&] {
         return legacy_conv_ipu_fp16(input, filters, spec, icfg, AccumKind::kFp32);
       },
       &legacy_out);
 
-  auto run_engine = [&](int threads, Tensor* out) {
+  for (auto scheme : {DecompositionScheme::kTemporal, DecompositionScheme::kSerial,
+                      DecompositionScheme::kSpatial}) {
+    DatapathConfig cfg = DatapathConfig::for_scheme(scheme);
+    cfg.n_inputs = 16;
+    cfg.adder_tree_width = 16;
+    cfg.software_precision = 28;
+    cfg.multi_cycle = true;
+
+    // A direct scheme instance behind the per-op baseline (the PR 2 engine
+    // drove these exact entry points through its virtual wrapper).
+    const PerOpUnit unit = make_per_op_unit(cfg);
+
+    Tensor per_op_out, prep1_out, prephw_out;
+    const double t_per_op = time_seconds(
+        [&] { return per_op_conv_fp16(unit, cfg.n_inputs, input, filters, spec); },
+        &per_op_out);
+
     ConvEngineConfig ec;
-    ec.datapath = datapath_config_from_ipu(icfg);
+    ec.datapath = cfg;
     ec.accum = AccumKind::kFp32;
-    ec.threads = threads;
-    ConvEngine engine(ec);
-    return time_seconds([&] { return engine.conv_fp16(input, filters, spec); },
-                        out);
-  };
-  const double t_engine1 = run_engine(1, &engine1_out);
-  const double t_engine4 = run_engine(4, &engine4_out);
-  const double t_enginehw = run_engine(hw, &enginehw_out);
+    ec.threads = 1;
+    ConvEngine engine1(ec);
+    const double t_prep1 = time_seconds(
+        [&] { return engine1.conv_fp16(input, filters, spec); }, &prep1_out);
+    ec.threads = hw;
+    ConvEngine enginehw(ec);
+    const double t_prephw = time_seconds(
+        [&] { return enginehw.conv_fp16(input, filters, spec); }, &prephw_out);
 
-  for (size_t i = 0; i < legacy_out.data.size(); ++i) {
-    if (legacy_out.data[i] != engine1_out.data[i] ||
-        legacy_out.data[i] != engine4_out.data[i] ||
-        legacy_out.data[i] != enginehw_out.data[i]) {
-      std::printf("BIT MISMATCH at %zu\n", i);
-      return 1;
+    bool identical = tensors_identical(per_op_out, prep1_out) &&
+                     tensors_identical(per_op_out, prephw_out) &&
+                     unit.cycles() == engine1.stats().cycles &&
+                     unit.fp_ops() == engine1.stats().fp_ops &&
+                     engine1.stats() == enginehw.stats();
+    if (scheme == DecompositionScheme::kTemporal) {
+      identical = identical && tensors_identical(legacy_out, prep1_out);
     }
-  }
-  std::printf("all paths bit-identical: yes\n\n");
+    if (!identical) {
+      std::printf("BIT MISMATCH on %s scheme\n", scheme_name(scheme));
+      all_identical = false;
+      rc = 1;
+    }
 
-  bench::Table t({"path", "wall seconds", "speedup vs legacy"});
-  t.add_row({"legacy loop (seed, 1 thread)", bench::fmt(t_legacy, 3), "1.00x"});
-  t.add_row({"ConvEngine, 1 thread", bench::fmt(t_engine1, 3),
-             bench::fmt(t_legacy / t_engine1, 2) + "x"});
-  t.add_row({"ConvEngine, 4 threads", bench::fmt(t_engine4, 3),
-             bench::fmt(t_legacy / t_engine4, 2) + "x"});
-  t.add_row({"ConvEngine, hw threads (" + std::to_string(hw) + ")",
-             bench::fmt(t_enginehw, 3), bench::fmt(t_legacy / t_enginehw, 2) + "x"});
-  t.print();
-  return 0;
+    table.add_row({scheme_name(scheme), "per-op loop (PR 2), 1 thread",
+                   bench::fmt(t_per_op, 3), "1.00x"});
+    table.add_row({scheme_name(scheme), "prepared engine, 1 thread",
+                   bench::fmt(t_prep1, 3),
+                   bench::fmt(t_per_op / t_prep1, 2) + "x"});
+    table.add_row({scheme_name(scheme),
+                   "prepared engine, hw threads (" + std::to_string(hw) + ")",
+                   bench::fmt(t_prephw, 3),
+                   bench::fmt(t_per_op / t_prephw, 2) + "x"});
+
+    Json s = Json::object();
+    s.set("scheme", scheme_name(scheme));
+    s.set("per_op_1t_seconds", t_per_op);
+    s.set("prepared_1t_seconds", t_prep1);
+    s.set("prepared_hw_seconds", t_prephw);
+    s.set("speedup_prepared_1t_vs_per_op", t_per_op / t_prep1);
+    s.set("speedup_prepared_hw_vs_per_op", t_per_op / t_prephw);
+    if (scheme == DecompositionScheme::kTemporal) {
+      s.set("legacy_seed_seconds", t_legacy);
+      s.set("speedup_prepared_1t_vs_legacy", t_legacy / t_prep1);
+    }
+    s.set("bit_identical", identical);
+    schemes_json.push(std::move(s));
+  }
+
+  std::printf("all paths bit-identical (tensors, cycles, op counts): %s\n\n",
+              all_identical ? "yes" : "NO");
+  table.print();
+  std::printf("\nlegacy seed loop (temporal, 1 thread): %s s\n",
+              bench::fmt(t_legacy, 3).c_str());
+
+  root.set("schemes", std::move(schemes_json));
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << root.dump() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return rc;
 }

@@ -1,0 +1,63 @@
+// Serve-loop schedule for the prepared-operand fast paths (core/prepared.h).
+//
+// The per-op serve loops of the temporal and serial schemes repeatedly scan
+// all n lanes per band per iteration/step ("is lane k in band c?") and
+// recompute each lane's window shift every time, even though both are fixed
+// for the whole op.  `BandSchedule` hoists that out: one pass over the EHU
+// result groups the unmasked lanes by serve band (k-ascending within a
+// band -- the adder tree's integer sum is order-independent, but a
+// deterministic order keeps the loops auditable) and precomputes each
+// lane's constant net window shift.  All storage is reused scratch, so a
+// warm schedule never allocates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ehu.h"
+
+namespace mpipu {
+
+struct BandSchedule {
+  /// Unmasked lane ids grouped by band; band c spans
+  /// order[begin[c] .. begin[c+1]).
+  std::vector<int32_t> order;
+  std::vector<int32_t> begin;
+  /// Per lane (indexed by lane id): guard - local_shift, the constant net
+  /// placement shift of that lane's products inside the w-bit window.
+  std::vector<int32_t> net_shift;
+
+  /// `bands` is the serve-cycle count (1 in single-cycle mode, where every
+  /// lane lands in band 0 with its full alignment clamped to the window).
+  void build(const EhuResult& ehu, int bands, bool single_cycle, int guard,
+             int sp, int window) {
+    const size_t n = ehu.align.size();
+    begin.assign(static_cast<size_t>(bands) + 1, 0);
+    net_shift.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu.masked[k]) continue;
+      const int c = single_cycle ? 0 : ehu.band[k];
+      ++begin[static_cast<size_t>(c) + 1];
+      const int local_shift = single_cycle ? std::min(ehu.align[k], window)
+                                           : ehu.align[k] - c * sp;
+      net_shift[k] = guard - local_shift;
+    }
+    for (int c = 0; c < bands; ++c) {
+      begin[static_cast<size_t>(c) + 1] += begin[static_cast<size_t>(c)];
+    }
+    order.resize(static_cast<size_t>(begin[static_cast<size_t>(bands)]));
+    cursor_.assign(begin.begin(), begin.end());
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu.masked[k]) continue;
+      const int c = single_cycle ? 0 : ehu.band[k];
+      order[static_cast<size_t>(cursor_[static_cast<size_t>(c)]++)] =
+          static_cast<int32_t>(k);
+    }
+  }
+
+ private:
+  std::vector<int32_t> cursor_;
+};
+
+}  // namespace mpipu

@@ -46,17 +46,18 @@ class TemporalDatapath final : public Datapath {
 
   int multipliers() const override { return cfg_.n_inputs; }
   void reset_accumulator() override { ipu_.reset_accumulator(); }
-  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) override {
-    return ipu_.fp_accumulate<kFp16Format>(a, b);
+  int fp16_accumulate_prepared(const PreparedFp16View& a,
+                               const PreparedFp16View& b) override {
+    return ipu_.fp16_accumulate_prepared(a, b);
   }
   FixedPoint read_raw() const override { return ipu_.read_raw(); }
   bool supports_int(int a_bits, int b_bits) const override {
     return a_bits >= 2 && b_bits >= 2 && a_bits <= 4 * kMaxNibbles &&
            b_bits <= 4 * kMaxNibbles;
   }
-  int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
-                     int a_bits, int b_bits) override {
-    return ipu_.int_accumulate(a, b, a_bits, b_bits);
+  int int_accumulate_prepared(const PreparedIntView& a, const PreparedIntView& b,
+                              int a_bits, int b_bits) override {
+    return ipu_.int_accumulate_prepared(a, b, a_bits, b_bits);
   }
   int64_t read_int() const override { return ipu_.read_int(); }
   DatapathStats stats() const override {
@@ -97,17 +98,22 @@ class SerialDatapath final : public Datapath {
 
   int multipliers() const override { return cfg_.n_inputs; }
   void reset_accumulator() override { ipu_.reset_accumulator(); }
-  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) override {
-    return ipu_.fp_accumulate(a, b);
+  int fp16_accumulate_prepared(const PreparedFp16View& a,
+                               const PreparedFp16View& b) override {
+    return ipu_.fp16_accumulate_prepared(a, b);
   }
   FixedPoint read_raw() const override { return ipu_.read_raw(); }
   bool supports_int(int a_bits, int b_bits) const override {
     // Full-parallel multiplicand is a 12-bit lane; b streams bit-serially.
     return a_bits >= 2 && b_bits >= 2 && a_bits <= 12 && b_bits <= 32;
   }
-  int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
-                     int a_bits, int b_bits) override {
-    return ipu_.int_accumulate(a, b, a_bits, b_bits);
+  int int_accumulate_prepared(const PreparedIntView& a, const PreparedIntView& b,
+                              int a_bits, int b_bits) override {
+    // The bit-serial INT path streams raw two's-complement values; the
+    // prepared digit planes are a temporal-scheme notion it never reads.
+    return ipu_.int_accumulate(std::span<const int32_t>(a.value, a.n),
+                               std::span<const int32_t>(b.value, b.n), a_bits,
+                               b_bits);
   }
   int64_t read_int() const override { return ipu_.read_int(); }
   DatapathStats stats() const override {
@@ -147,15 +153,16 @@ class SpatialDatapath final : public Datapath {
     return cfg_.n_inputs * SpatialIpu::multipliers_per_input<kFp16Format>();
   }
   void reset_accumulator() override { ipu_.reset_accumulator(); }
-  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) override {
-    return ipu_.fp_accumulate<kFp16Format>(a, b);
+  int fp16_accumulate_prepared(const PreparedFp16View& a,
+                               const PreparedFp16View& b) override {
+    return ipu_.fp16_accumulate_prepared(a, b);
   }
   FixedPoint read_raw() const override { return ipu_.read_raw(); }
   bool supports_int(int, int) const override { return false; }
   // Hard aborts (not asserts): in a Release build a silent 0 here would
   // masquerade as a valid INT result.
-  int int_accumulate(std::span<const int32_t>, std::span<const int32_t>, int,
-                     int) override {
+  int int_accumulate_prepared(const PreparedIntView&, const PreparedIntView&,
+                              int, int) override {
     std::fprintf(stderr, "Datapath: spatial scheme is FP-only\n");
     std::abort();
   }

@@ -27,6 +27,7 @@
 
 #include "common/fixed_point.h"
 #include "core/accumulator.h"
+#include "core/prepared.h"
 #include "softfloat/softfloat.h"
 
 namespace mpipu {
@@ -166,9 +167,23 @@ class Datapath {
   /// Clear the accumulator (new output pixel); stats persist.
   virtual void reset_accumulator() = 0;
 
+  /// Accumulate one FP16 inner product from pre-decomposed SoA operand
+  /// planes (core/prepared.h) -- the hot-loop contract.  Per op only the
+  /// EHU and the scheme's serve loop run, on scratch the unit owns; the
+  /// caller streams views over planes it prepared once per tensor.
+  virtual int fp16_accumulate_prepared(const PreparedFp16View& a,
+                                       const PreparedFp16View& b) = 0;
+
   /// Accumulate one FP16 inner product a.b; returns datapath cycles.
-  virtual int fp16_accumulate(std::span<const Fp16> a,
-                              std::span<const Fp16> b) = 0;
+  /// Compatibility entry: prepares the spans on the fly into unit-owned
+  /// scratch and runs the prepared path, so both entries are bit- and
+  /// cycle-identical by construction.  Prefer preparing whole tensors and
+  /// calling fp16_accumulate_prepared on hot paths.
+  int fp16_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) {
+    prep_a_.assign(a);
+    prep_b_.assign(b);
+    return fp16_accumulate_prepared(prep_a_.view(), prep_b_.view());
+  }
 
   /// One self-contained inner product: reset, accumulate, read.  This is
   /// the unified cross-scheme contract the differential tests pin down.
@@ -189,10 +204,23 @@ class Datapath {
   /// width, serial is limited to 12-bit parallel operands, spatial is
   /// FP-only.  Callers must check before dispatching.
   virtual bool supports_int(int a_bits, int b_bits) const = 0;
-  /// Accumulate one INT inner product (requires supports_int).
-  virtual int int_accumulate(std::span<const int32_t> a,
-                             std::span<const int32_t> b, int a_bits,
-                             int b_bits) = 0;
+  /// Accumulate one INT inner product from pre-packed digit/value planes
+  /// (requires supports_int).
+  virtual int int_accumulate_prepared(const PreparedIntView& a,
+                                      const PreparedIntView& b, int a_bits,
+                                      int b_bits) = 0;
+  /// Compatibility entry; same prepare-on-the-fly contract as
+  /// fp16_accumulate.
+  int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
+                     int a_bits, int b_bits) {
+    // The bit-serial scheme streams raw values; don't pack digit planes it
+    // will never read.
+    const bool digits = cfg_.scheme != DecompositionScheme::kSerial;
+    int_prep_a_.assign(a, a_bits, false, digits);
+    int_prep_b_.assign(b, b_bits, false, digits);
+    return int_accumulate_prepared(int_prep_a_.view(), int_prep_b_.view(),
+                                   a_bits, b_bits);
+  }
   virtual int64_t read_int() const = 0;
 
   virtual DatapathStats stats() const = 0;
@@ -200,6 +228,11 @@ class Datapath {
  protected:
   explicit Datapath(const DatapathConfig& cfg) : cfg_(cfg) {}
   DatapathConfig cfg_;
+
+ private:
+  /// Scratch backing the compatibility entries, reused across ops.
+  PreparedFp16 prep_a_, prep_b_;
+  PreparedInt int_prep_a_, int_prep_b_;
 };
 
 /// Build the scheme implementation named by `cfg.scheme`.  The returned

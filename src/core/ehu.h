@@ -17,6 +17,13 @@
 // One EHU is shared by all nibble iterations of an FP-IP op (the exponents
 // do not change across iterations), and in a real tile it is time-multiplexed
 // between IPUs; the area model (src/model) accounts for that sharing.
+//
+// The EHU sits on the innermost per-op path of every scheme, so the
+// scratch-reuse overloads below run allocation-free once their EhuResult is
+// warm: every field (including the stage-5 `band_used` occupancy scratch)
+// is a reused vector.  The exponent-plane overload serves the
+// prepared-operand fast path (core/prepared.h), where operands were decoded
+// once per tensor and only their exponent planes reach the EHU.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +39,9 @@ struct EhuResult {
   std::vector<int> product_exp;  ///< stage 1: Ea_k + Eb_k.
   int max_exp = 0;               ///< stage 2.
   std::vector<int> align;        ///< stage 3: max_exp - product_exp (>= 0).
-  std::vector<bool> masked;      ///< stage 4: align > software_precision.
+  /// stage 4: nonzero iff align > software_precision.  (uint8_t, not
+  /// vector<bool>: the serve loops test it per lane per cycle.)
+  std::vector<uint8_t> masked;
   /// stage 5: band (serve-cycle) index per product; -1 for masked products.
   /// Band c covers alignments [c*sp, (c+1)*sp).
   std::vector<int> band;
@@ -41,6 +50,9 @@ struct EhuResult {
   /// Number of *non-empty* bands (cycle count when the EHU can skip empty
   /// bands -- an ablation knob, see EhuOptions::skip_empty_bands).
   int mc_cycles_skip_empty = 1;
+  /// Stage-5 occupancy scratch (band index -> served anything); kept here so
+  /// repeated run_ehu calls into the same EhuResult never allocate.
+  std::vector<uint8_t> band_used;
 };
 
 struct EhuOptions {
@@ -57,14 +69,31 @@ struct EhuOptions {
   bool skip_empty_bands = false;
 };
 
-/// Run the EHU over decoded operand pairs.  Zero operands participate with
-/// their encoding's subnormal exponent exactly as the hardware (which only
-/// looks at exponent fields) would.
+/// Run the EHU over decoded operand pairs into caller-owned scratch;
+/// allocation-free once `out`'s vectors have grown to the op width.  Zero
+/// operands participate with their encoding's subnormal exponent exactly as
+/// the hardware (which only looks at exponent fields) would.
+void run_ehu(std::span<const Decoded> a, std::span<const Decoded> b,
+             const EhuOptions& opts, EhuResult& out);
+
+/// Same, over pre-decoded exponent planes (the prepared-operand fast path).
+void run_ehu(std::span<const int32_t> a_exp, std::span<const int32_t> b_exp,
+             const EhuOptions& opts, EhuResult& out);
+
+/// Allocating convenience wrapper over the scratch-reuse overload.
 EhuResult run_ehu(std::span<const Decoded> a, std::span<const Decoded> b,
                   const EhuOptions& opts);
 
+/// Stages 1-3 only (exponent sums, max reduction, alignments) into
+/// `out.product_exp` / `out.max_exp` / `out.align`, leaving masking and band
+/// assignment untouched.  This is the one home of the exponent/alignment
+/// arithmetic: run_ehu layers stages 4-5 on top, and product_alignments is
+/// a thin wrapper -- the banding model is never reimplemented.
+void ehu_alignment_stages(std::span<const Decoded> a, std::span<const Decoded> b,
+                          EhuResult& out);
+
 /// Convenience: alignment histogram input -- product exponent differences
-/// (stage 3 outputs) without band assignment.
+/// (stage 3 outputs) without masking or band assignment.
 std::vector<int> product_alignments(std::span<const Decoded> a, std::span<const Decoded> b);
 
 }  // namespace mpipu

@@ -81,6 +81,152 @@ int Ipu::run_fp_iteration(std::span<const NibbleOperand> na,
   return cycles_used;
 }
 
+template <typename TreeInt>
+int Ipu::run_prepared_fp16(const PreparedFp16View& a, const PreparedFp16View& b) {
+  const size_t n = a.n;
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kn = fp_nibble_count(F);
+  constexpr int z = fp_pad_bits(F);
+
+  EhuOptions eopts;
+  eopts.software_precision = cfg_.software_precision;
+  eopts.safe_precision = std::max(cfg_.safe_precision(), 1);
+  eopts.skip_empty_bands = cfg_.skip_empty_bands;
+  run_ehu(std::span<const int32_t>(a.exp, n), std::span<const int32_t>(b.exp, n),
+          eopts, ehu_);
+
+  const int sp = cfg_.safe_precision();
+  const bool single_cycle = !cfg_.multi_cycle;
+  const int bands = single_cycle ? 1 : ehu_.mc_cycles;
+  sched_.build(ehu_, bands, single_cycle, cfg_.window_guard(), sp,
+               cfg_.adder_tree_width);
+
+  // Same per-iteration cost rule as run_fp_iteration: the serve loop burns
+  // a cycle per band (occupied bands only under the skip-empty ablation).
+  const int cycles_per_iter =
+      single_cycle ? 1
+                   : (cfg_.skip_empty_bands ? ehu_.mc_cycles_skip_empty
+                                            : ehu_.mc_cycles);
+  const int frac_bits = acc_.config().frac_bits;
+  const int guard = cfg_.window_guard();
+
+  int cycles = 0;
+  for (int i = 0; i < kn; ++i) {
+    for (int j = 0; j < kn; ++j) {
+      if (cfg_.skip_zero_iterations) {
+        bool all_zero = true;
+        for (int32_t k : sched_.order) {
+          if (a.nib[static_cast<size_t>(k) * kn + static_cast<size_t>(i)] != 0 &&
+              b.nib[static_cast<size_t>(k) * kn + static_cast<size_t>(j)] != 0) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (all_zero) {
+          ++stats_.skipped_iterations;
+          continue;
+        }
+      }
+      const int wi = 4 * i - z;
+      const int wj = 4 * j - z;
+      const int base_rescale = wi + wj - 2 * F.man_bits - guard + frac_bits;
+      for (int c = 0; c < bands; ++c) {
+        TreeInt tree_sum = 0;
+        const int32_t* lane = sched_.order.data() + sched_.begin[static_cast<size_t>(c)];
+        const int32_t* lane_end = sched_.order.data() + sched_.begin[static_cast<size_t>(c) + 1];
+        for (; lane != lane_end; ++lane) {
+          const auto k = static_cast<size_t>(*lane);
+          const int32_t p =
+              static_cast<int32_t>(a.nib[k * kn + static_cast<size_t>(i)]) *
+              static_cast<int32_t>(b.nib[k * kn + static_cast<size_t>(j)]);
+          if (p == 0) continue;  // shifting and adding zero is a no-op
+          const int s = sched_.net_shift[k];
+          // C++20 shifts: << on a negative TreeInt and >> arithmetic are
+          // both well defined and match bits.h's shl/asr exactly.
+          tree_sum += s >= 0 ? static_cast<TreeInt>(p) << s
+                             : static_cast<TreeInt>(p >> -s);
+        }
+        const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+        const auto tree128 = static_cast<int128>(tree_sum);
+        acc_.add(rescale >= 0 ? shl(tree128, rescale) : asr(tree128, -rescale),
+                 ehu_.max_exp);
+      }
+      cycles += cycles_per_iter;
+      if (cycles_per_iter > 1) ++stats_.multi_cycle_iterations;
+    }
+  }
+
+  ++stats_.fp_ops;
+  stats_.nibble_iterations += kn * kn;
+  stats_.cycles += cycles;
+  for (size_t k = 0; k < n; ++k) {
+    if (ehu_.masked[k]) {
+      ++stats_.masked_products;
+    } else {
+      stats_.max_alignment_seen =
+          std::max(stats_.max_alignment_seen, ehu_.align[k]);
+    }
+  }
+  return cycles;
+}
+
+int Ipu::fp16_accumulate_prepared(const PreparedFp16View& a,
+                                  const PreparedFp16View& b) {
+  assert(a.n == b.n);
+  assert(static_cast<int>(a.n) <= cfg_.n_inputs);
+  // 9-bit lane products shifted up to window_guard and summed over n lanes:
+  // stay in int64 whenever that bound fits, spill to int128 otherwise
+  // (identical results either way; the adder tree is exact integer math).
+  const int tree_bits =
+      std::max(cfg_.window_guard(), 0) + 9 + ceil_log2(std::max(cfg_.n_inputs, 1)) + 1;
+  return tree_bits <= 62 ? run_prepared_fp16<int64_t>(a, b)
+                         : run_prepared_fp16<int128>(a, b);
+}
+
+int Ipu::int_accumulate_prepared(const PreparedIntView& a,
+                                 const PreparedIntView& b, int a_bits,
+                                 int b_bits) {
+  assert(a.n == b.n);
+  assert(static_cast<int>(a.n) <= cfg_.n_inputs);
+  const size_t n = a.n;
+  const int ka = int_nibble_count(a_bits);
+  const int kb = int_nibble_count(b_bits);
+  assert(a.lanes == ka && b.lanes == kb);
+  const auto ska = static_cast<size_t>(ka);
+  const auto skb = static_cast<size_t>(kb);
+
+  // Mirrors int_accumulate: zero local shift, exact adder tree, 4*(i+j)
+  // significance shift at the accumulator -- minus the per-op decomposition.
+  int cycles = 0;
+  for (int i = 0; i < ka; ++i) {
+    for (int j = 0; j < kb; ++j) {
+      if (cfg_.skip_zero_iterations) {
+        bool all_zero = true;
+        for (size_t k = 0; k < n && all_zero; ++k) {
+          all_zero = a.nib[k * ska + static_cast<size_t>(i)] == 0 ||
+                     b.nib[k * skb + static_cast<size_t>(j)] == 0;
+        }
+        if (all_zero) {
+          ++stats_.skipped_iterations;
+          continue;
+        }
+      }
+      int64_t tree_sum = 0;
+      for (size_t k = 0; k < n; ++k) {
+        tree_sum += multiply_lane(a.nib[k * ska + static_cast<size_t>(i)],
+                                  b.nib[k * skb + static_cast<size_t>(j)]);
+      }
+      int_acc_ += tree_sum << (4 * (i + j));
+      ++cycles;
+    }
+  }
+
+  ++stats_.int_ops;
+  stats_.nibble_iterations += ka * kb;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
 int Ipu::int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
                         int a_bits, int b_bits, bool a_unsigned, bool b_unsigned) {
   assert(a.size() == b.size());

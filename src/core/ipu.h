@@ -42,8 +42,10 @@
 #include "common/bits.h"
 #include "common/fixed_point.h"
 #include "core/accumulator.h"
+#include "core/band_schedule.h"
 #include "core/ehu.h"
 #include "core/nibble.h"
+#include "core/prepared.h"
 #include "core/reference.h"
 #include "softfloat/softfloat.h"
 
@@ -101,6 +103,21 @@ class Ipu {
   template <FpFormat F>
   int fp_accumulate(std::span<const Soft<F>> a, std::span<const Soft<F>> b);
 
+  /// Prepared-operand fast path (core/prepared.h): operands were decoded
+  /// and nibble-decomposed once, per tensor; per op only the EHU and the
+  /// serve loop run, on reused scratch.  Bit- and cycle-identical to
+  /// fp_accumulate<kFp16Format> over the same values.
+  int fp16_accumulate_prepared(const PreparedFp16View& a,
+                               const PreparedFp16View& b);
+
+  /// Prepared INT fast path: radix-16 digit planes were packed once, per
+  /// tensor.  Bit- and cycle-identical to int_accumulate over the same
+  /// values (signed operands; unsigned encodings prepare with
+  /// PreparedInt::assign(..., is_unsigned=true)).
+  int int_accumulate_prepared(const PreparedIntView& a,
+                              const PreparedIntView& b, int a_bits,
+                              int b_bits);
+
   /// Accumulate one INT inner product; operands are already-quantized signed
   /// values that fit (a_bits, b_bits) two's complement (pass is_unsigned for
   /// unsigned encodings, which occupy ceil(bits/4) unsigned lanes).
@@ -153,6 +170,11 @@ class Ipu {
     return true;
   }
 
+  /// Serve loop of the prepared fast path; TreeInt is the adder-tree sum
+  /// type (int64_t whenever the window bound fits, int128 otherwise).
+  template <typename TreeInt>
+  int run_prepared_fp16(const PreparedFp16View& a, const PreparedFp16View& b);
+
   IpuConfig cfg_;
   Accumulator acc_;
   int64_t int_acc_ = 0;
@@ -160,6 +182,9 @@ class Ipu {
   // Scratch, sized n_inputs, reused across calls to avoid allocation.
   std::vector<Decoded> dec_a_, dec_b_;
   std::vector<NibbleOperand> nib_a_, nib_b_;
+  // Prepared-path scratch (EHU output + serve schedule), reused per op.
+  EhuResult ehu_;
+  BandSchedule sched_;
 };
 
 // ---------------------------------------------------------------------------

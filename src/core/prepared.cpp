@@ -1,0 +1,43 @@
+#include "core/prepared.h"
+
+namespace mpipu {
+
+void PreparedFp16::assign(std::span<const Fp16> vals) {
+  resize(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) set(i, vals[i]);
+}
+
+void PreparedFp16::gather(const PreparedFp16& src, std::span<const int32_t> rel,
+                          int64_t base, size_t dst_offset) {
+  const size_t m = rel.size();
+  for (size_t t = 0; t < m; ++t) {
+    const auto s = static_cast<size_t>(base + rel[t]);
+    const size_t d = dst_offset + t;
+    exp_[d] = src.exp_[s];
+    signed_mag_[d] = src.signed_mag_[s];
+    const int8_t* sl = &src.nib_[s * static_cast<size_t>(kFp16NibbleLanes)];
+    int8_t* dl = &nib_[d * static_cast<size_t>(kFp16NibbleLanes)];
+    for (int k = 0; k < kFp16NibbleLanes; ++k) dl[k] = sl[k];
+  }
+}
+
+void PreparedInt::assign(std::span<const int32_t> vals, int bit_width,
+                         bool is_unsigned, bool with_digits) {
+  configure(bit_width, is_unsigned, vals.size(), with_digits);
+  for (size_t i = 0; i < vals.size(); ++i) set(i, vals[i]);
+}
+
+void PreparedInt::gather(const PreparedInt& src, std::span<const int32_t> rel,
+                         int64_t base, size_t dst_offset) {
+  const size_t m = rel.size();
+  for (size_t t = 0; t < m; ++t) {
+    const auto s = static_cast<size_t>(base + rel[t]);
+    const size_t d = dst_offset + t;
+    value_[d] = src.value_[s];
+    const int8_t* sl = &src.nib_[s * static_cast<size_t>(lanes_)];
+    int8_t* dl = &nib_[d * static_cast<size_t>(lanes_)];
+    for (int k = 0; k < lanes_; ++k) dl[k] = sl[k];
+  }
+}
+
+}  // namespace mpipu

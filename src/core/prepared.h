@@ -1,0 +1,179 @@
+// Prepared operands: decode once, allocate never (the conv hot-loop fast
+// path).
+//
+// Every scheme's per-op entry point used to re-run `decode()` and
+// `decompose_fp` on operands that were already decoded for the previous
+// output channel -- software work with no hardware analogue.  Bit-serial
+// simulators in the same family (Bit-Tactical, Pragmatic, Stripes) get
+// their throughput by precomputing the per-element bit decomposition once
+// and streaming packed operand planes through the datapath model; this
+// header is that trick for the MC-IPU repo.
+//
+// `PreparedFp16` holds a whole tensor's worth of FP16 operands as SoA
+// planes -- one flat array per `Decoded` field plus the packed nibble
+// lanes -- filled exactly once per tensor.  A `PreparedFp16View` is a
+// non-owning window over those planes; `Datapath::fp16_accumulate_prepared`
+// consumes views directly, so the per-op cost is the EHU and the serve
+// loop, nothing else.  `PreparedInt` is the INT-mode counterpart (raw
+// values for the bit-serial scheme, packed radix-16 digits for the
+// temporal scheme).
+//
+// Everything a view exposes is derivable from the element values alone, so
+// preparing per tensor, per chunk, or per op yields identical planes --
+// which is what makes the span-of-Fp16 compatibility wrappers bit- and
+// cycle-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/nibble.h"
+#include "softfloat/softfloat.h"
+
+namespace mpipu {
+
+/// Nibble lanes per prepared FP16 element (the N2/N1/N0 planes of §2.2).
+inline constexpr int kFp16NibbleLanes = fp_nibble_count(kFp16Format);
+
+/// Non-owning SoA window over prepared FP16 operands.  `nib` is
+/// element-major with stride kFp16NibbleLanes: lanes of element k are
+/// nib[k*3 .. k*3+2], sign already applied (lane weights are the static
+/// 2^(4i - z) of decompose_fp and never stored).
+struct PreparedFp16View {
+  const int32_t* exp = nullptr;         ///< unbiased exponent (Decoded::exp)
+  const int32_t* signed_mag = nullptr;  ///< (-1)^sign * magnitude
+  const int8_t* nib = nullptr;          ///< packed nibble lanes
+  size_t n = 0;
+};
+
+/// Owning SoA planes for FP16 operands; decode + nibble-decompose happens
+/// exactly once, in set()/assign().
+class PreparedFp16 {
+ public:
+  PreparedFp16() = default;
+  explicit PreparedFp16(std::span<const Fp16> vals) { assign(vals); }
+
+  size_t size() const { return exp_.size(); }
+
+  /// Grow/shrink without preparing; elements must be set() before use.
+  /// Shrinking keeps capacity -- reuse across gathers never reallocates.
+  void resize(size_t n) {
+    exp_.resize(n);
+    signed_mag_.resize(n);
+    nib_.resize(n * static_cast<size_t>(kFp16NibbleLanes));
+  }
+
+  /// Prepare one element (decode + decompose).
+  void set(size_t i, Fp16 v) {
+    const Decoded d = v.decode();
+    exp_[i] = d.exp;
+    signed_mag_[i] = d.signed_magnitude();
+    const NibbleOperand nb = decompose_fp<kFp16Format>(d);
+    int8_t* lanes = &nib_[i * static_cast<size_t>(kFp16NibbleLanes)];
+    for (int k = 0; k < kFp16NibbleLanes; ++k) {
+      lanes[k] = nb.v[static_cast<size_t>(k)];
+    }
+  }
+
+  void assign(std::span<const Fp16> vals);
+
+  /// No-op (FP16 planes have a fixed layout); mirrors PreparedInt so
+  /// plane-generic code can set up staging buffers uniformly.
+  void match_layout(const PreparedFp16&) {}
+
+  /// Stage `rel.size()` already-prepared elements of `src` at indices
+  /// rel[t] + base into this object's planes starting at `dst_offset` --
+  /// a plane copy, never a re-decode.  The destination must already be
+  /// resize()d to cover [dst_offset, dst_offset + rel.size()).
+  void gather(const PreparedFp16& src, std::span<const int32_t> rel,
+              int64_t base, size_t dst_offset = 0);
+
+  PreparedFp16View view() const { return view(0, size()); }
+  PreparedFp16View view(size_t offset, size_t len) const {
+    return {exp_.data() + offset, signed_mag_.data() + offset,
+            nib_.data() + offset * static_cast<size_t>(kFp16NibbleLanes), len};
+  }
+
+ private:
+  std::vector<int32_t> exp_;
+  std::vector<int32_t> signed_mag_;
+  std::vector<int8_t> nib_;
+};
+
+/// Non-owning SoA window over prepared INT operands.  `value` feeds the
+/// bit-serial scheme (which streams raw two's-complement bits); `nib` holds
+/// the signed radix-16 digits of the temporal scheme, element-major with
+/// stride `lanes`.
+struct PreparedIntView {
+  const int32_t* value = nullptr;
+  const int8_t* nib = nullptr;
+  int lanes = 0;  ///< digit stride; 0 when packed value-only (serial scheme)
+  size_t n = 0;
+};
+
+/// Owning planes for INT operands quantized to `bits`-wide values.
+class PreparedInt {
+ public:
+  PreparedInt() = default;
+
+  int bits() const { return bits_; }
+  int lanes() const { return lanes_; }
+  size_t size() const { return value_.size(); }
+
+  /// Set the element width (fixes the digit-plane stride) and size.  Pass
+  /// with_digits = false to pack the raw value plane only (lanes() == 0):
+  /// the bit-serial scheme streams two's-complement bits and never reads
+  /// the radix-16 digit planes, so packing them would be dead weight on
+  /// its tensors.
+  void configure(int bit_width, bool is_unsigned, size_t n,
+                 bool with_digits = true) {
+    bits_ = bit_width;
+    unsigned_ = is_unsigned;
+    lanes_ = with_digits ? int_nibble_count(bit_width) : 0;
+    resize(n);
+  }
+
+  void resize(size_t n) {
+    value_.resize(n);
+    nib_.resize(n * static_cast<size_t>(lanes_));
+  }
+
+  void set(size_t i, int32_t v) {
+    value_[i] = v;
+    if (lanes_ == 0) return;  // value-only packing
+    const NibbleOperand nb =
+        unsigned_ ? decompose_int_unsigned(v, bits_) : decompose_int(v, bits_);
+    int8_t* lanes = &nib_[i * static_cast<size_t>(lanes_)];
+    for (int k = 0; k < lanes_; ++k) lanes[k] = nb.v[static_cast<size_t>(k)];
+  }
+
+  void assign(std::span<const int32_t> vals, int bit_width,
+              bool is_unsigned = false, bool with_digits = true);
+
+  /// Adopt `src`'s (bits, signedness, digit stride) so gathers out of it
+  /// land in a compatible layout.
+  void match_layout(const PreparedInt& src) {
+    bits_ = src.bits_;
+    unsigned_ = src.unsigned_;
+    lanes_ = src.lanes_;
+  }
+
+  void gather(const PreparedInt& src, std::span<const int32_t> rel,
+              int64_t base, size_t dst_offset = 0);
+
+  PreparedIntView view() const { return view(0, size()); }
+  PreparedIntView view(size_t offset, size_t len) const {
+    return {value_.data() + offset,
+            nib_.data() + offset * static_cast<size_t>(lanes_), lanes_, len};
+  }
+
+ private:
+  int bits_ = 0;
+  int lanes_ = 1;
+  bool unsigned_ = false;
+  std::vector<int32_t> value_;
+  std::vector<int8_t> nib_;
+};
+
+}  // namespace mpipu

@@ -73,10 +73,80 @@ int SerialIpu::fp_accumulate(std::span<const Fp16> a, std::span<const Fp16> b) {
   return cycles;
 }
 
+template <typename TreeInt>
+int SerialIpu::run_prepared_fp16(const PreparedFp16View& a,
+                                 const PreparedFp16View& b) {
+  const size_t n = a.n;
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kSteps = 12;  // 11 magnitude bits + 1 pad (implicit shift)
+
+  EhuOptions eopts;
+  eopts.software_precision = cfg_.software_precision;
+  eopts.safe_precision = std::max(cfg_.safe_precision(), 1);
+  run_ehu(std::span<const int32_t>(a.exp, n), std::span<const int32_t>(b.exp, n),
+          eopts, ehu_);
+
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+  const bool single_cycle = !cfg_.multi_cycle;
+  const int bands = single_cycle ? 1 : ehu_.mc_cycles;
+  sched_.build(ehu_, bands, single_cycle, guard, sp, cfg_.adder_tree_width);
+
+  // Per-lane constants for the whole op: the padded weight magnitude whose
+  // bits stream serially, and the multiplicand with the weight sign folded
+  // in.  A zero weight magnitude never sets a bit, so losing the sign of a
+  // signed zero is harmless.
+  padded_mag_.resize(n);
+  lane_p_.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const int32_t smb = b.signed_mag[k];
+    padded_mag_[k] = static_cast<uint32_t>(smb < 0 ? -smb : smb) << 1;
+    lane_p_[k] = smb < 0 ? -a.signed_mag[k] : a.signed_mag[k];
+  }
+
+  const int frac_bits = acc_.config().frac_bits;
+  for (int t = 0; t < kSteps; ++t) {
+    const int base_rescale = (t - 1) - 2 * F.man_bits - guard + frac_bits;
+    for (int c = 0; c < bands; ++c) {
+      TreeInt tree_sum = 0;
+      const int32_t* lane = sched_.order.data() + sched_.begin[static_cast<size_t>(c)];
+      const int32_t* lane_end = sched_.order.data() + sched_.begin[static_cast<size_t>(c) + 1];
+      for (; lane != lane_end; ++lane) {
+        const auto k = static_cast<size_t>(*lane);
+        if (((padded_mag_[k] >> t) & 1u) == 0) continue;
+        const int s = sched_.net_shift[k];
+        tree_sum += s >= 0 ? static_cast<TreeInt>(lane_p_[k]) << s
+                           : static_cast<TreeInt>(lane_p_[k] >> -s);
+      }
+      const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+      const auto tree128 = static_cast<int128>(tree_sum);
+      acc_.add(rescale >= 0 ? shl(tree128, rescale) : asr(tree128, -rescale),
+               ehu_.max_exp);
+    }
+  }
+
+  const int cycles = kSteps * bands;
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
+int SerialIpu::fp16_accumulate_prepared(const PreparedFp16View& a,
+                                        const PreparedFp16View& b) {
+  assert(a.n == b.n);
+  assert(static_cast<int>(a.n) <= cfg_.n_inputs);
+  // 12-bit multiplicands shifted up to window_guard and summed over n lanes.
+  const int tree_bits = std::max(cfg_.window_guard(), 0) + 12 +
+                        ceil_log2(std::max(cfg_.n_inputs, 1)) + 1;
+  return tree_bits <= 62 ? run_prepared_fp16<int64_t>(a, b)
+                         : run_prepared_fp16<int128>(a, b);
+}
+
 int SerialIpu::int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
                               int a_bits, int b_bits) {
   assert(a.size() == b.size());
   assert(a_bits <= 12 && b_bits <= 32);
+  static_cast<void>(a_bits);  // only the asserts consume it
   const size_t n = a.size();
   for (size_t k = 0; k < n; ++k) {
     assert(fits_signed(a[k], a_bits));

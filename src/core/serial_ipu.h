@@ -19,7 +19,9 @@
 
 #include "common/bits.h"
 #include "core/accumulator.h"
+#include "core/band_schedule.h"
 #include "core/ehu.h"
+#include "core/prepared.h"
 #include "core/reference.h"
 #include "softfloat/softfloat.h"
 
@@ -58,6 +60,12 @@ class SerialIpu {
   /// Returns datapath cycles (steps x alignment bands).
   int fp_accumulate(std::span<const Fp16> a, std::span<const Fp16> b);
 
+  /// Prepared-operand fast path (core/prepared.h): per op only the EHU and
+  /// the bit-serial serve loop run, on reused scratch.  Bit- and
+  /// cycle-identical to fp_accumulate over the same values.
+  int fp16_accumulate_prepared(const PreparedFp16View& a,
+                               const PreparedFp16View& b);
+
   /// INT inner product: full-parallel a (<= 12 bits), bit-serial b.
   /// Costs b_bits cycles; exact.
   int int_accumulate(std::span<const int32_t> a, std::span<const int32_t> b,
@@ -71,10 +79,19 @@ class SerialIpu {
   int64_t read_int() const { return int_acc_; }
 
  private:
+  template <typename TreeInt>
+  int run_prepared_fp16(const PreparedFp16View& a, const PreparedFp16View& b);
+
   SerialIpuConfig cfg_;
   Accumulator acc_;
   int64_t int_acc_ = 0;
   SerialIpuStats stats_;
+  // Prepared-path scratch (EHU output, serve schedule, per-lane operand
+  // views), reused per op.
+  EhuResult ehu_;
+  BandSchedule sched_;
+  std::vector<uint32_t> padded_mag_;  ///< weight magnitude << 1 per lane
+  std::vector<int32_t> lane_p_;       ///< weight-sign-applied multiplicand
 };
 
 }  // namespace mpipu

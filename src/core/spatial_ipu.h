@@ -27,6 +27,7 @@
 #include "core/accumulator.h"
 #include "core/ehu.h"
 #include "core/nibble.h"
+#include "core/prepared.h"
 #include "core/reference.h"
 #include "softfloat/softfloat.h"
 
@@ -70,6 +71,12 @@ class SpatialIpu {
   template <FpFormat F>
   int fp_accumulate(std::span<const Soft<F>> a, std::span<const Soft<F>> b);
 
+  /// Prepared-operand fast path (core/prepared.h): per op only the EHU and
+  /// the combined-shift serve loop run, on reused scratch.  Bit- and
+  /// cycle-identical to fp_accumulate<kFp16Format> over the same values.
+  int fp16_accumulate_prepared(const PreparedFp16View& a,
+                               const PreparedFp16View& b);
+
   template <FpFormat Out>
   Soft<Out> read_fp() const {
     return Soft<Out>::round_from_fixed(acc_.value());
@@ -77,9 +84,21 @@ class SpatialIpu {
   FixedPoint read_raw() const { return acc_.value(); }
 
  private:
+  template <typename TreeInt>
+  int run_prepared_fp16(const PreparedFp16View& a, const PreparedFp16View& b);
+
   SpatialIpuConfig cfg_;
   Accumulator acc_;
   SpatialIpuStats stats_;
+  // Prepared-path scratch: lane products grouped by serve band, reused per
+  // op (entries with a zero product are dropped -- they cannot change the
+  // adder tree -- but still count toward band occupancy, which is an
+  // exponent-level notion).
+  EhuResult ehu_;
+  std::vector<int32_t> entry_begin_;
+  std::vector<int32_t> entry_cursor_;
+  std::vector<int32_t> entry_p_;
+  std::vector<int32_t> entry_shift_;
 };
 
 // ---------------------------------------------------------------------------
@@ -181,6 +200,138 @@ int SpatialIpu::fp_accumulate(std::span<const Soft<F>> a, std::span<const Soft<F
   stats_.cycles += cycles;
   if (cycles > 1) ++stats_.multi_cycle_ops;
   return cycles;
+}
+
+template <typename TreeInt>
+int SpatialIpu::run_prepared_fp16(const PreparedFp16View& a,
+                                  const PreparedFp16View& b) {
+  const size_t n = a.n;
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kn = fp_nibble_count(F);
+  constexpr int z = fp_pad_bits(F);
+  constexpr int top_weight = 2 * (4 * (kn - 1) - z);
+
+  EhuOptions eopts;
+  eopts.software_precision = cfg_.software_precision;
+  eopts.safe_precision = std::max(cfg_.safe_precision(), 1);
+  run_ehu(std::span<const int32_t>(a.exp, n), std::span<const int32_t>(b.exp, n),
+          eopts, ehu_);
+
+  const int w = cfg_.adder_tree_width;
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+  const bool single_cycle = !cfg_.multi_cycle;
+
+  // Static significance offsets: lane product (i, j) sits top_weight -
+  // (wi + wj) below the op's top-aligned product, wi = 4i - z.
+  // shift(k, i, j) = align[k] + offs(i, j).
+  auto offs = [](int i, int j) { return top_weight - (4 * i - z) - (4 * j - z); };
+
+  // Band span and occupancy, exactly as the per-op path computes them
+  // (exponent-level: every unmasked lane product counts, zero or not).
+  int max_band = 0;
+  uint64_t occupied = 1;
+  if (!single_cycle) {
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu_.masked[k]) continue;
+      for (int i = 0; i < kn; ++i) {
+        for (int j = 0; j < kn; ++j) {
+          const int band = (ehu_.align[k] + offs(i, j)) / sp;
+          max_band = std::max(max_band, band);
+          occupied |= uint64_t{1} << std::min(band, 63);
+        }
+      }
+    }
+  }
+  const int bands = single_cycle ? 1 : max_band + 1;
+
+  // Group the nonzero lane products by serve band (counting sort into
+  // reused scratch); zero products are dropped here -- adding a zero to the
+  // adder tree is a no-op -- after occupancy was counted above.
+  entry_begin_.assign(static_cast<size_t>(bands) + 1, 0);
+  for (size_t k = 0; k < n; ++k) {
+    if (ehu_.masked[k]) continue;
+    const int8_t* na = a.nib + k * static_cast<size_t>(kn);
+    const int8_t* nb = b.nib + k * static_cast<size_t>(kn);
+    for (int i = 0; i < kn; ++i) {
+      if (na[i] == 0) continue;
+      for (int j = 0; j < kn; ++j) {
+        if (nb[j] == 0) continue;
+        const int shift = ehu_.align[k] + offs(i, j);
+        const int c = single_cycle ? 0 : shift / sp;
+        ++entry_begin_[static_cast<size_t>(c) + 1];
+      }
+    }
+  }
+  for (int c = 0; c < bands; ++c) {
+    entry_begin_[static_cast<size_t>(c) + 1] += entry_begin_[static_cast<size_t>(c)];
+  }
+  entry_cursor_.assign(entry_begin_.begin(), entry_begin_.end());
+  const auto total = static_cast<size_t>(entry_begin_[static_cast<size_t>(bands)]);
+  entry_p_.resize(total);
+  entry_shift_.resize(total);
+  for (size_t k = 0; k < n; ++k) {
+    if (ehu_.masked[k]) continue;
+    const int8_t* na = a.nib + k * static_cast<size_t>(kn);
+    const int8_t* nb = b.nib + k * static_cast<size_t>(kn);
+    for (int i = 0; i < kn; ++i) {
+      if (na[i] == 0) continue;
+      for (int j = 0; j < kn; ++j) {
+        if (nb[j] == 0) continue;
+        const int shift = ehu_.align[k] + offs(i, j);
+        const int c = single_cycle ? 0 : shift / sp;
+        const int local = single_cycle ? std::min(shift, w) : shift - c * sp;
+        const auto slot = static_cast<size_t>(entry_cursor_[static_cast<size_t>(c)]++);
+        entry_p_[slot] = static_cast<int32_t>(na[i]) * static_cast<int32_t>(nb[j]);
+        entry_shift_[slot] = guard - local;
+      }
+    }
+  }
+
+  const int base_rescale =
+      top_weight - 2 * F.man_bits - guard + acc_.config().frac_bits;
+  for (int c = 0; c < bands; ++c) {
+    TreeInt tree_sum = 0;
+    for (auto e = static_cast<size_t>(entry_begin_[static_cast<size_t>(c)]),
+              end = static_cast<size_t>(entry_begin_[static_cast<size_t>(c) + 1]);
+         e != end; ++e) {
+      const int s = entry_shift_[e];
+      tree_sum += s >= 0 ? static_cast<TreeInt>(entry_p_[e]) << s
+                         : static_cast<TreeInt>(entry_p_[e] >> -s);
+    }
+    const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+    const auto tree128 = static_cast<int128>(tree_sum);
+    acc_.add(rescale >= 0 ? shl(tree128, rescale) : asr(tree128, -rescale),
+             ehu_.max_exp);
+  }
+
+  const int cycles =
+      single_cycle
+          ? 1
+          : (cfg_.skip_empty_bands
+                 ? __builtin_popcountll(occupied & ((max_band >= 63)
+                                                        ? ~uint64_t{0}
+                                                        : ((uint64_t{1} << (max_band + 1)) - 1)))
+                 : bands);
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  if (cycles > 1) ++stats_.multi_cycle_ops;
+  return cycles;
+}
+
+inline int SpatialIpu::fp16_accumulate_prepared(const PreparedFp16View& a,
+                                                const PreparedFp16View& b) {
+  assert(a.n == b.n);
+  assert(static_cast<int>(a.n) <= cfg_.n_inputs);
+  // 9-bit lane products shifted up to window_guard, summed over n * Ka*Kb
+  // parallel multipliers.
+  const int tree_bits =
+      std::max(cfg_.window_guard(), 0) + 9 +
+      ceil_log2(std::max(cfg_.n_inputs, 1) *
+                multipliers_per_input<kFp16Format>()) +
+      1;
+  return tree_bits <= 62 ? run_prepared_fp16<int64_t>(a, b)
+                         : run_prepared_fp16<int128>(a, b);
 }
 
 }  // namespace mpipu

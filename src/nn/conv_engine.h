@@ -4,10 +4,16 @@
 // the unified `Datapath` interface so any convolution can run on any
 // decomposition scheme (temporal / serial / spatial) through one config:
 //
-//   * im2col-style batching: inputs and filters are rounded to FP16 (or
-//     quantized to INT) once, per tensor, instead of once per output pixel
-//     that touches them; each output pixel's operand stream is gathered by
-//     precomputed patch indices shared across all output channels;
+//   * prepared-operand pipeline (core/prepared.h): inputs and filters are
+//     rounded to FP16 (or quantized to INT) AND decoded + nibble-decomposed
+//     once, per tensor, into SoA planes -- never once per op;
+//   * clip-class packing: output pixels sharing one in-bounds kernel window
+//     (all interior pixels, plus at most (kh+1)*(kw+1) border shapes) share
+//     one im2col plan, and each class's per-output-channel filter operand
+//     streams are packed into contiguous prepared planes once, so the
+//     per-(pixel, co) inner loop is pure streaming -- zero gathers, zero
+//     allocations, zero re-decodes (one staging plane-copy per pixel covers
+//     the input side for all output channels);
 //   * a fixed-size thread pool (src/common/thread_pool.h) parallelizes over
 //     output pixels, with one private `Datapath` instance per worker slot;
 //   * statistics reduce deterministically: every counter is a sum (or the

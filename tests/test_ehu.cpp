@@ -29,7 +29,7 @@ TEST(Ehu, StagesOnSimpleInput) {
   EXPECT_EQ(r.product_exp, (std::vector<int>{4, 0, 1}));
   EXPECT_EQ(r.max_exp, 4);
   EXPECT_EQ(r.align, (std::vector<int>{0, 4, 3}));
-  EXPECT_EQ(r.masked, (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(r.masked, (std::vector<uint8_t>{false, false, false}));
   EXPECT_EQ(r.mc_cycles, 1);
 }
 
@@ -57,7 +57,7 @@ TEST(Ehu, MaskingAtSoftwarePrecision) {
   opts.safe_precision = 7;
   const EhuResult r = run_ehu(a, b, opts);
   EXPECT_EQ(r.align, (std::vector<int>{0, 30, 17}));
-  EXPECT_EQ(r.masked, (std::vector<bool>{false, true, true}));
+  EXPECT_EQ(r.masked, (std::vector<uint8_t>{false, true, true}));
   // Masked products cost no cycles.
   EXPECT_EQ(r.mc_cycles, 1);
   EXPECT_EQ(r.band, (std::vector<int>{0, -1, -1}));
@@ -70,7 +70,7 @@ TEST(Ehu, BoundaryAlignmentExactlyAtPrecisionIsKept) {
   opts.software_precision = 16;
   opts.safe_precision = 7;
   const EhuResult r = run_ehu(a, b, opts);
-  EXPECT_EQ(r.masked, (std::vector<bool>{false, false}));  // 16 <= 16
+  EXPECT_EQ(r.masked, (std::vector<uint8_t>{false, false}));  // 16 <= 16
   EXPECT_EQ(r.band, (std::vector<int>{0, 2}));             // 16/7 = 2
   EXPECT_EQ(r.mc_cycles, 3);
 }
@@ -94,7 +94,7 @@ TEST(Ehu, AllMaskedStillOneCycle) {
   opts.software_precision = 8;
   opts.safe_precision = 3;
   const EhuResult r = run_ehu(a, b, opts);
-  EXPECT_EQ(r.masked, (std::vector<bool>{false, true}));
+  EXPECT_EQ(r.masked, (std::vector<uint8_t>{false, true}));
   EXPECT_EQ(r.mc_cycles, 1);
 }
 
