@@ -241,13 +241,7 @@ double time_seconds(const std::function<Tensor()>& fn, Tensor* out) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-bool tensors_identical(const Tensor& a, const Tensor& b) {
-  if (a.data.size() != b.data.size()) return false;
-  for (size_t i = 0; i < a.data.size(); ++i) {
-    if (a.data[i] != b.data[i]) return false;
-  }
-  return true;
-}
+using bench::tensors_identical;
 
 }  // namespace
 }  // namespace mpipu

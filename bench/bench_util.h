@@ -69,4 +69,17 @@ inline std::string fmt_pct(double v, int prec = 1) {
   return buf;
 }
 
+/// Bit-exact tensor comparison -- the single definition of the identity
+/// gate the perf benches pass/fail on (same geometry, exact double
+/// equality, no tolerance).
+template <typename TensorT>
+bool tensors_identical(const TensorT& a, const TensorT& b) {
+  if (a.c != b.c || a.h != b.h || a.w != b.w) return false;
+  if (a.data.size() != b.data.size()) return false;
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    if (a.data[i] != b.data[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace mpipu::bench

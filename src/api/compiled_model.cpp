@@ -1,0 +1,335 @@
+#include "api/compiled_model.h"
+
+#include <optional>
+#include <stdexcept>
+
+namespace mpipu {
+
+namespace {
+
+/// Entries kept in the per-input reference-chain cache.  Sweeps re-running
+/// the same input (policy/config studies) hit entry 0 forever; anything
+/// streaming distinct inputs just rotates through without growing.
+constexpr size_t kMaxRefCacheEntries = 4;
+
+class Fnv1a {
+ public:
+  void bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ull;
+    }
+  }
+  void str(const std::string& s) {
+    const uint64_t n = s.size();
+    bytes(&n, sizeof(n));
+    bytes(s.data(), s.size());
+  }
+  template <typename T>
+  void pod(const T& v) {
+    bytes(&v, sizeof(v));
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 1469598103934665603ull;
+};
+
+}  // namespace
+
+uint64_t model_fingerprint(const Model& model) {
+  Fnv1a h;
+  h.str(model.name());
+  h.pod(static_cast<uint64_t>(model.layers().size()));
+  for (const ModelLayer& l : model.layers()) {
+    h.str(l.name);
+    h.pod(l.spec.stride);
+    h.pod(l.spec.pad);
+    h.pod(static_cast<int>(l.relu));
+    h.pod(static_cast<int>(l.pool));
+    h.pod(l.filters.cout);
+    h.pod(l.filters.cin);
+    h.pod(l.filters.kh);
+    h.pod(l.filters.kw);
+    h.bytes(l.filters.data.data(), l.filters.data.size() * sizeof(double));
+  }
+  return h.value();
+}
+
+bool CompiledModel::matches(const Model& model) const {
+  if (model.name() != name_) return false;
+  const std::vector<ModelLayer>& theirs = model.layers();
+  if (theirs.size() != layers_.size()) return false;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const ModelLayer& a = layers_[i];
+    const ModelLayer& b = theirs[i];
+    if (a.name != b.name || a.spec.stride != b.spec.stride ||
+        a.spec.pad != b.spec.pad || a.relu != b.relu || a.pool != b.pool ||
+        a.filters.cout != b.filters.cout || a.filters.cin != b.filters.cin ||
+        a.filters.kh != b.filters.kh || a.filters.kw != b.filters.kw ||
+        a.filters.data != b.filters.data) {
+      return false;
+    }
+  }
+  // Two from_network models can share name, specs and (seeded) weights yet
+  // wrap different shape tables / tensor statistics -- which is exactly
+  // what estimate() consumes.  Compare the wrapped table (in place, no
+  // copy) against the one baked at compile time.  For from_layers models
+  // the table is derived from the layers just compared, so equality
+  // already holds and the comparison is skipped.
+  const Network* wrapped = model.wrapped_network();
+  if ((wrapped != nullptr) != table_backed_) return false;
+  return wrapped == nullptr || *wrapped == shape_net_;
+}
+
+TileConfig composed_tile_for(const RunSpec& spec, const TileConfig& geometry) {
+  TileConfig t = geometry;
+  t.datapath = spec.datapath;
+  if (t.c_unroll != spec.datapath.n_inputs) {
+    throw std::invalid_argument(
+        "RunSpec: tile c_unroll (" + std::to_string(t.c_unroll) +
+        ") must equal datapath n_inputs (" +
+        std::to_string(spec.datapath.n_inputs) +
+        ") -- one RunSpec drives both paths");
+  }
+  return t;
+}
+
+CompiledModel CompiledModel::compile(const Model& model, const RunSpec& spec,
+                                     const CompileOptions& opts) {
+  if (opts.input_h <= 0 || opts.input_w <= 0) {
+    throw std::invalid_argument(
+        "CompiledModel::compile: CompileOptions must carry the input spatial "
+        "dims (got " + std::to_string(opts.input_h) + "x" +
+        std::to_string(opts.input_w) +
+        ") -- the packed gather offsets depend on them");
+  }
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "CompiledModel::compile: model '" + model.name() +
+        "' carries no weights -- shape-table models are estimate-only; build "
+        "with Model::from_layers or call materialize_weights()");
+  }
+  const std::vector<ModelLayer>& layers = model.layers();
+
+  CompiledModel cm;
+  cm.spec_ = spec;
+  cm.name_ = model.name();
+  cm.layers_ = layers;
+  cm.in_c_ = layers.front().filters.cin;
+  cm.in_h_ = opts.input_h;
+  cm.in_w_ = opts.input_w;
+  cm.shape_net_ = model.shape_table(opts.input_h, opts.input_w);
+  cm.table_backed_ = model.is_shape_table_backed();
+  cm.fingerprint_ = model_fingerprint(model);
+  cm.ref_cache_ = std::make_shared<RefCache>();
+
+  // Resolve and validate the whole policy up front: an unsupported INT
+  // layer must be rejected at compile time, before anything executes.
+  std::unique_ptr<Datapath> probe;
+  cm.precisions_.resize(layers.size());
+  for (size_t i = 0; i < layers.size(); ++i) {
+    cm.precisions_[i] = spec.policy.resolve(i, layers.size(), layers[i].name);
+    const LayerPrecision& p = cm.precisions_[i];
+    if (p.kind != LayerPrecision::Kind::kInt) continue;
+    if (!probe) probe = make_datapath(spec.datapath);
+    if (!probe->supports_int(p.a_bits, p.w_bits)) {
+      throw std::invalid_argument(
+          "CompiledModel::compile: layer '" + layers[i].name + "' requests " +
+          p.to_string() + " but the " + scheme_name(spec.datapath.scheme) +
+          " scheme does not support it" +
+          (spec.datapath.scheme == DecompositionScheme::kSpatial
+               ? " (spatial is FP-only; pick an fp16 policy or a "
+                 "temporal/serial datapath)"
+               : ""));
+    }
+  }
+
+  // Bake every layer: walk the activation geometry through the chain and
+  // pack the filter planes for each layer's resolved mode.
+  int c = cm.in_c_, h = opts.input_h, w = opts.input_w;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const ModelLayer& l = layers[i];
+    const LayerPrecision& p = cm.precisions_[i];
+    const int ho = l.spec.out_dim(h, l.filters.kh);
+    const int wo = l.spec.out_dim(w, l.filters.kw);
+    if (ho <= 0 || wo <= 0) {
+      throw std::invalid_argument(
+          "CompiledModel::compile: layer '" + l.name + "' maps " +
+          std::to_string(h) + "x" + std::to_string(w) + " activations to " +
+          std::to_string(ho) + "x" + std::to_string(wo) +
+          " -- the chain collapses at these input dims");
+    }
+    CompiledLayer cl;
+    cl.precision = p;
+    cl.precision_label = p.to_string();
+    if (p.kind == LayerPrecision::Kind::kFp16) {
+      const PreparedFp16 flt_planes = prepare_fp16_planes(l.filters.data);
+      cl.fp16_plan.build(c, h, w, l.filters, l.spec, flt_planes);
+    } else {
+      cl.qw = fit_symmetric(l.filters.data, p.w_bits);
+      cl.int_digits = spec.datapath.scheme != DecompositionScheme::kSerial;
+      const PreparedInt flt_planes =
+          prepare_int_planes(l.filters.data, cl.qw, cl.int_digits);
+      cl.int_plan.build(c, h, w, l.filters, l.spec, flt_planes);
+    }
+    cm.compiled_.push_back(std::move(cl));
+    h = ho;
+    w = wo;
+    switch (l.pool) {
+      case PoolOp::kNone: break;
+      case PoolOp::kMax2: h /= 2; w /= 2; break;
+      case PoolOp::kGlobalAvg: h = 1; w = 1; break;
+    }
+    c = l.filters.cout;
+  }
+  return cm;
+}
+
+void CompiledModel::validate_input(const Tensor& input) const {
+  if (input.c != in_c_ || input.h != in_h_ || input.w != in_w_) {
+    throw std::invalid_argument(
+        "CompiledModel::run: input is " + std::to_string(input.c) + "x" +
+        std::to_string(input.h) + "x" + std::to_string(input.w) +
+        " but the model was compiled for " + std::to_string(in_c_) + "x" +
+        std::to_string(in_h_) + "x" + std::to_string(in_w_) +
+        " -- compile once per input geometry");
+  }
+}
+
+std::shared_ptr<const std::vector<Tensor>> CompiledModel::reference_chain(
+    const Tensor& input) const {
+  {
+    std::lock_guard<std::mutex> lock(ref_cache_->mu);
+    for (const auto& e : ref_cache_->entries) {
+      if (e.first == input.data) return e.second;
+    }
+  }
+  // Compute outside the lock: concurrent callers with distinct inputs must
+  // not serialize on the (expensive) reference convolutions.
+  auto refs = std::make_shared<std::vector<Tensor>>();
+  refs->reserve(layers_.size());
+  Tensor ref = input;
+  for (const ModelLayer& l : layers_) {
+    ref = reference_layer(ref, l);
+    refs->push_back(ref);
+  }
+  std::lock_guard<std::mutex> lock(ref_cache_->mu);
+  for (const auto& e : ref_cache_->entries) {
+    // A racing caller beat us to it; both chains are deterministic and
+    // identical -- keep theirs so the cache holds one entry per input.
+    if (e.first == input.data) return e.second;
+  }
+  if (ref_cache_->entries.size() >= kMaxRefCacheEntries) {
+    ref_cache_->entries.erase(ref_cache_->entries.begin());
+  }
+  ref_cache_->entries.emplace_back(input.data, refs);
+  return refs;
+}
+
+RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
+                             ThreadPool& pool) const {
+  validate_input(input);
+
+  RunReport report;
+  report.model = name_;
+  report.scheme = scheme_name(spec_.datapath.scheme);
+  report.threads = pool.size();
+
+  // Per-call scratch: one private datapath per worker slot.  Fresh units
+  // mean per-call stats; the plans themselves are only read.
+  std::vector<std::unique_ptr<Datapath>> units;
+  units.reserve(static_cast<size_t>(pool.size()));
+  for (int slot = 0; slot < pool.size(); ++slot) {
+    units.push_back(make_datapath(spec_.datapath));
+  }
+  const auto units_stats = [&units] {
+    DatapathStats total;
+    for (const auto& u : units) total += u->stats();
+    return total;
+  };
+
+  std::shared_ptr<const std::vector<Tensor>> refs;
+  if (opts.compare_reference) refs = reference_chain(input);
+
+  Tensor x = input;
+  for (size_t i = 0; i < compiled_.size(); ++i) {
+    const CompiledLayer& cl = compiled_[i];
+    LayerRunReport lr;
+    lr.layer = layers_[i].name;
+    lr.precision = cl.precision_label;
+
+    const DatapathStats before = units_stats();
+    Tensor y;
+    if (cl.precision.kind == LayerPrecision::Kind::kFp16) {
+      const PreparedFp16 in_planes = prepare_fp16_planes(x.data);
+      y = execute_fp16_plan(cl.fp16_plan, in_planes, pool, units,
+                            spec_.datapath.n_inputs, cl.precision.accum);
+    } else {
+      // Activation quantization depends on the input values; only the
+      // weight side was frozen at compile time.
+      const QuantParams qa = fit_symmetric(x.data, cl.precision.a_bits);
+      const PreparedInt in_planes =
+          prepare_int_planes(x.data, qa, cl.int_digits);
+      y = execute_int_plan(cl.int_plan, in_planes, pool, units,
+                           spec_.datapath.n_inputs, cl.precision.a_bits,
+                           cl.precision.w_bits, qa, cl.qw);
+    }
+    lr.stats = units_stats() - before;
+
+    x = apply_post_ops(std::move(y), layers_[i]);
+    if (refs) lr.error = compare_outputs(x, (*refs)[i]);
+    report.totals += lr.stats;
+    report.layers.push_back(std::move(lr));
+  }
+
+  report.output = std::move(x);
+  if (refs) {
+    report.end_to_end = report.layers.back().error;
+    report.reference_output = refs->back();
+  }
+  if (opts.with_estimate) report.estimate = estimate();
+  return report;
+}
+
+RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts) const {
+  // spec().threads == 1 (the serving default) makes this pool threadless --
+  // slot 0 runs inline -- so per-call construction costs nothing.
+  ThreadPool pool(spec_.threads);
+  return run(input, opts, pool);
+}
+
+BatchRunReport CompiledModel::run_batch(const std::vector<Tensor>& inputs,
+                                        const RunOptions& opts,
+                                        ThreadPool& pool) const {
+  // The estimate depends only on the compiled geometry: compute it once.
+  RunOptions per_run = opts;
+  per_run.with_estimate = false;
+  std::optional<NetworkSimResult> est;
+
+  BatchRunReport batch;
+  batch.runs.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    batch.runs.push_back(run(input, per_run, pool));
+    if (opts.with_estimate) {
+      if (!est.has_value()) est = estimate();
+      batch.runs.back().estimate = *est;
+    }
+    batch.totals += batch.runs.back().totals;
+  }
+  return batch;
+}
+
+BatchRunReport CompiledModel::run_batch(const std::vector<Tensor>& inputs,
+                                        const RunOptions& opts) const {
+  ThreadPool pool(spec_.threads);
+  return run_batch(inputs, opts, pool);
+}
+
+NetworkSimResult CompiledModel::estimate() const {
+  return simulate_network(shape_net_, composed_tile_for(spec_, spec_.tile),
+                          spec_.sim);
+}
+
+}  // namespace mpipu

@@ -1,0 +1,157 @@
+// CompiledModel: the compile-once / run-many half of the high-level API.
+//
+// The paper's deployment scenario is fixed-weight DNN inference: weights
+// are known at load time, requests arrive forever after.  Session::run
+// re-paid the whole weight pipeline -- FP16 rounding / INT quantization,
+// decode, nibble decomposition, per-(clip-class, output-channel) stream
+// packing -- on every call.  `Session::compile` (or the static
+// CompiledModel::compile) moves all of it to a single compile phase:
+//
+//   * the PrecisionPolicy is resolved per layer ONCE; a CompiledModel never
+//     re-resolves it (mutating the policy object you compiled from has no
+//     effect on an existing CompiledModel -- recompile to change precision);
+//   * every layer is baked into an immutable CompiledLayer holding the
+//     prepared + packed filter planes (nn/conv_plan.h) for its resolved
+//     (datapath, accum / INT) mode;
+//   * all validation (weightless model, INT on an FP-only scheme, empty
+//     output geometry) happens at compile time, before anything executes.
+//
+// run()/run_batch() are REENTRANT: every call builds its own scratch
+// (thread pool, per-slot datapaths, staged activation planes, stats) and
+// only reads the shared `const` plans, so any number of host threads may
+// call them concurrently on one CompiledModel.  Each call returns its own
+// RunReport whose outputs, stats and cycles are byte-identical to what
+// Session::run produces for the same spec/model/input.  Unlike the legacy
+// ConvEngine (whose counters accumulate across calls -- see
+// ConvEngine::stats), stats here are per-call by construction.
+//
+// Session::run is reimplemented on top of this (compile-on-first-use with
+// an exact-match model cache), so existing callers keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/model.h"
+#include "api/run_report.h"
+#include "api/run_spec.h"
+#include "common/thread_pool.h"
+#include "nn/conv_plan.h"
+
+namespace mpipu {
+
+struct CompileOptions {
+  /// Spatial dims of the inputs run() will receive (the packed gather
+  /// offsets and clip classes depend on them).  Required; run() rejects
+  /// inputs with any other shape.
+  int input_h = 0;
+  int input_w = 0;
+};
+
+class CompiledModel {
+ public:
+  /// Resolve, validate and bake `model` for `spec` at the given input
+  /// geometry.  Throws std::invalid_argument on a weightless model, a
+  /// policy asking for INT on a datapath that does not support it, missing
+  /// input dims, or a layer chain whose output collapses to nothing.
+  static CompiledModel compile(const Model& model, const RunSpec& spec,
+                               const CompileOptions& opts);
+
+  /// One forward pass against the immutable plan.  Thread-safe: every call
+  /// owns its scratch (a private pool of spec().threads workers -- created
+  /// per call, so prefer spec.threads == 1 for concurrent serving) and its
+  /// RunReport stats are per-call.  Throws std::invalid_argument when the
+  /// input shape differs from the compiled geometry.
+  RunReport run(const Tensor& input, const RunOptions& opts = {}) const;
+  /// Same, executing on a caller-owned pool (e.g. a Session's shared pool
+  /// or a serving thread's long-lived pool).  The pool must not be used by
+  /// two calls at once -- ThreadPool::parallel_for is not reentrant; for
+  /// concurrent callers give each its own pool or use the overload above.
+  RunReport run(const Tensor& input, const RunOptions& opts,
+                ThreadPool& pool) const;
+
+  /// Forward passes over a batch with the deterministic stats reduction of
+  /// Session::run_batch (and the estimate computed once, not per input).
+  BatchRunReport run_batch(const std::vector<Tensor>& inputs,
+                           const RunOptions& opts = {}) const;
+  BatchRunReport run_batch(const std::vector<Tensor>& inputs,
+                           const RunOptions& opts, ThreadPool& pool) const;
+
+  /// Cycle-sim estimate of the compiled shape table on spec().tile with
+  /// spec().datapath plugged in (what RunOptions.with_estimate attaches).
+  NetworkSimResult estimate() const;
+
+  const std::string& model_name() const { return name_; }
+  const RunSpec& spec() const { return spec_; }
+  int input_c() const { return in_c_; }
+  int input_h() const { return in_h_; }
+  int input_w() const { return in_w_; }
+  size_t layer_count() const { return layers_.size(); }
+  /// The compile-time-resolved precision of each layer (frozen: no API
+  /// re-resolves these after compile).
+  const std::vector<LayerPrecision>& layer_precisions() const {
+    return precisions_;
+  }
+  /// Content fingerprint of the model this plan was compiled from
+  /// (model_fingerprint of name, specs, post-ops and weight bytes).
+  uint64_t fingerprint() const { return fingerprint_; }
+  /// Exact equality of `model` with the compiled weights/specs AND shape
+  /// table (what estimate() consumes) -- the sole lookup predicate of
+  /// Session's compile-on-first-use cache.  Field checks (name, dims,
+  /// specs) reject mismatches before any weight bytes are compared.
+  bool matches(const Model& model) const;
+
+ private:
+  CompiledModel() = default;
+
+  /// One layer's immutable execution state: the resolved precision plus the
+  /// plan (packed filter streams) for its mode.  Exactly one of the two
+  /// plans is populated, selected by precision.kind.
+  struct CompiledLayer {
+    LayerPrecision precision;
+    std::string precision_label;
+    ConvPlan<PreparedFp16> fp16_plan;
+    ConvPlan<PreparedInt> int_plan;
+    QuantParams qw;          ///< INT mode: weight quantization (compile-time)
+    bool int_digits = true;  ///< INT mode: pack radix-16 digit planes?
+  };
+
+  /// Per-input FP32 reference chain cache (one entry = the per-layer
+  /// post-op reference outputs of one exact input).  Behind a shared_ptr so
+  /// the CompiledModel stays movable; guarded by its own mutex so run() is
+  /// reentrant.
+  struct RefCache {
+    std::mutex mu;
+    std::vector<std::pair<std::vector<double>,
+                          std::shared_ptr<const std::vector<Tensor>>>>
+        entries;
+  };
+
+  void validate_input(const Tensor& input) const;
+  std::shared_ptr<const std::vector<Tensor>> reference_chain(
+      const Tensor& input) const;
+
+  RunSpec spec_;
+  std::string name_;
+  int in_c_ = 0, in_h_ = 0, in_w_ = 0;
+  std::vector<ModelLayer> layers_;  ///< weights kept for the reference chain
+  std::vector<LayerPrecision> precisions_;
+  std::vector<CompiledLayer> compiled_;
+  Network shape_net_;  ///< shape table at the compiled input dims
+  bool table_backed_ = false;  ///< source model was from_network
+  uint64_t fingerprint_ = 0;
+  std::shared_ptr<RefCache> ref_cache_;
+};
+
+/// Order-sensitive content hash of a model's name, layer specs, post-ops
+/// and weight bytes -- a stable identity for logging / plan registries
+/// (what CompiledModel::fingerprint reports).  NOTE: it deliberately skips
+/// the wrapped shape table's tensor statistics; CompiledModel::matches is
+/// the exact-equality authority.
+uint64_t model_fingerprint(const Model& model);
+
+}  // namespace mpipu

@@ -49,6 +49,15 @@ class Model {
   const std::string& name() const { return name_; }
   const std::vector<ModelLayer>& layers() const { return layers_; }
   bool has_weights() const { return !layers_.empty(); }
+  /// True for from_network models: shape_table() returns the wrapped table
+  /// (with its own tensor statistics) rather than deriving one from the
+  /// layer chain.
+  bool is_shape_table_backed() const { return shape_net_.has_value(); }
+  /// The wrapped shape table of a from_network model, or nullptr for
+  /// from_layers models (allocation-free peek; shape_table() copies).
+  const Network* wrapped_network() const {
+    return shape_net_.has_value() ? &*shape_net_ : nullptr;
+  }
 
   /// Fill random FP16-rounded weights for every row of a wrapped shape
   /// table, drawn from the network's weight distribution.  Requires the
@@ -67,5 +76,17 @@ class Model {
   std::vector<ModelLayer> layers_;
   std::optional<Network> shape_net_;
 };
+
+/// Post-ops of one layer applied to its conv output: ReLU first, then
+/// pooling.  The single definition every forward path shares (Session,
+/// CompiledModel, the reference chain).
+Tensor apply_post_ops(Tensor t, const ModelLayer& l);
+
+/// One step of the exact FP32 reference chain: host-double convolution of
+/// `input` with the layer's filters, then the layer's post-ops.  Chaining
+/// this over a model's layers is *the* reference forward pass -- shared by
+/// Session::run's per-layer comparison, Session::reference and
+/// CompiledModel's cached chain, so the three can never drift.
+Tensor reference_layer(const Tensor& input, const ModelLayer& l);
 
 }  // namespace mpipu

@@ -1,47 +1,58 @@
 #include "api/session.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace mpipu {
+
 namespace {
-
-Tensor global_avg_pool(const Tensor& t) {
-  Tensor out(t.c, 1, 1);
-  for (int c = 0; c < t.c; ++c) {
-    double s = 0.0;
-    for (int y = 0; y < t.h; ++y) {
-      for (int x = 0; x < t.w; ++x) s += t.at(c, y, x);
-    }
-    out.at(c, 0, 0) = s / (static_cast<double>(t.h) * t.w);
-  }
-  return out;
-}
-
-Tensor apply_post_ops(Tensor t, const ModelLayer& l) {
-  if (l.relu) t = relu(t);
-  switch (l.pool) {
-    case PoolOp::kNone: break;
-    case PoolOp::kMax2: t = maxpool2(t); break;
-    case PoolOp::kGlobalAvg: t = global_avg_pool(t); break;
-  }
-  return t;
-}
-
+/// Distinct (model, input geometry) plans kept per Session.  Conversational
+/// sessions touch one or two models; sweeps re-running one model hit entry
+/// 0 forever.  Bounded so a session streaming many throwaway models cannot
+/// hoard packed planes.
+constexpr size_t kMaxCompiledCacheEntries = 8;
 }  // namespace
 
 Session::Session(RunSpec spec) : spec_(std::move(spec)), pool_(spec_.threads) {}
 
-ConvEngine& Session::engine_for(const DatapathConfig& dp, AccumKind accum) {
-  for (const PoolEntry& e : engines_) {
-    if (e.datapath == dp && e.accum == accum) return *e.engine;
+CompiledModel Session::compile(const Model& model,
+                               const CompileOptions& opts) const {
+  return CompiledModel::compile(model, spec_, opts);
+}
+
+const CompiledModel& Session::compiled_for(const Model& model, int input_h,
+                                           int input_w) {
+  // Exact-match lookup via matches(): its field comparisons (name, layer
+  // shapes, specs) reject non-matching entries before any weight bytes are
+  // touched, and a hit costs one memcmp-grade weight pass -- cheaper than
+  // hashing the weights up front on every run.
+  for (size_t i = 0; i < compiled_cache_.size(); ++i) {
+    const CacheEntry& e = compiled_cache_[i];
+    if (e.compiled->input_h() == input_h && e.compiled->input_w() == input_w &&
+        e.compiled->matches(model)) {
+      // LRU: refresh recency so a hot model survives transient ones
+      // streaming through (eviction takes the front).
+      if (i + 1 != compiled_cache_.size()) {
+        std::rotate(compiled_cache_.begin() + static_cast<ptrdiff_t>(i),
+                    compiled_cache_.begin() + static_cast<ptrdiff_t>(i) + 1,
+                    compiled_cache_.end());
+      }
+      return *compiled_cache_.back().compiled;
+    }
   }
-  ConvEngineConfig ec;
-  ec.datapath = dp;
-  ec.accum = accum;
-  ec.threads = pool_.size();
-  engines_.push_back({dp, accum, std::make_unique<ConvEngine>(ec, pool_)});
-  return *engines_.back().engine;
+  CompileOptions opts;
+  opts.input_h = input_h;
+  opts.input_w = input_w;
+  // Compile before evicting: a throwing compile (bad policy, collapsing
+  // geometry) must not cost an unrelated cached plan.
+  auto compiled = std::make_shared<const CompiledModel>(
+      CompiledModel::compile(model, spec_, opts));
+  if (compiled_cache_.size() >= kMaxCompiledCacheEntries) {
+    compiled_cache_.erase(compiled_cache_.begin());
+  }
+  compiled_cache_.push_back({std::move(compiled)});
+  return *compiled_cache_.back().compiled;
 }
 
 RunReport Session::run(const Model& model, const Tensor& input,
@@ -52,80 +63,13 @@ RunReport Session::run(const Model& model, const Tensor& input,
         "' carries no weights -- shape-table models are estimate-only; build "
         "with Model::from_layers or call materialize_weights()");
   }
-  const std::vector<ModelLayer>& layers = model.layers();
-  if (input.c != layers.front().filters.cin) {
+  if (input.c != model.layers().front().filters.cin) {
     throw std::invalid_argument(
         "Session::run: input has " + std::to_string(input.c) +
-        " channels but layer '" + layers.front().name + "' expects " +
-        std::to_string(layers.front().filters.cin));
+        " channels but layer '" + model.layers().front().name + "' expects " +
+        std::to_string(model.layers().front().filters.cin));
   }
-
-  // Resolve and validate the whole policy up front: an unsupported INT
-  // layer must be rejected before anything executes.
-  std::vector<LayerPrecision> precisions(layers.size());
-  for (size_t i = 0; i < layers.size(); ++i) {
-    precisions[i] = spec_.policy.resolve(i, layers.size(), layers[i].name);
-    const LayerPrecision& p = precisions[i];
-    if (p.kind != LayerPrecision::Kind::kInt) continue;
-    if (!probe_) probe_ = make_datapath(spec_.datapath);
-    if (!probe_->supports_int(p.a_bits, p.w_bits)) {
-      throw std::invalid_argument(
-          "Session::run: layer '" + layers[i].name + "' requests " +
-          p.to_string() + " but the " + scheme_name(spec_.datapath.scheme) +
-          " scheme does not support it" +
-          (spec_.datapath.scheme == DecompositionScheme::kSpatial
-               ? " (spatial is FP-only; pick an fp16 policy or a "
-                 "temporal/serial datapath)"
-               : ""));
-    }
-  }
-
-  RunReport report;
-  report.model = model.name();
-  report.scheme = scheme_name(spec_.datapath.scheme);
-  report.threads = pool_.size();
-
-  Tensor x = input;
-  Tensor ref = input;
-  for (size_t i = 0; i < layers.size(); ++i) {
-    const ModelLayer& l = layers[i];
-    const LayerPrecision& p = precisions[i];
-    LayerRunReport lr;
-    lr.layer = l.name;
-    lr.precision = p.to_string();
-
-    Tensor y;
-    if (p.kind == LayerPrecision::Kind::kFp16) {
-      ConvEngine& eng = engine_for(spec_.datapath, p.accum);
-      const DatapathStats before = eng.stats();
-      y = eng.conv_fp16(x, l.filters, l.spec);
-      lr.stats = eng.stats() - before;
-    } else {
-      // INT convs ignore the accumulation destination; share one engine.
-      ConvEngine& eng = engine_for(spec_.datapath, AccumKind::kFp32);
-      const DatapathStats before = eng.stats();
-      y = eng.conv_int(x, l.filters, l.spec, p.a_bits, p.w_bits);
-      lr.stats = eng.stats() - before;
-    }
-
-    x = apply_post_ops(std::move(y), l);
-    if (opts.compare_reference) {
-      ref = apply_post_ops(conv_reference(ref, l.filters, l.spec), l);
-      lr.error = compare_outputs(x, ref);
-    }
-    report.totals += lr.stats;
-    report.layers.push_back(std::move(lr));
-  }
-
-  report.output = std::move(x);
-  if (opts.compare_reference) {
-    report.end_to_end = report.layers.back().error;
-    report.reference_output = std::move(ref);
-  }
-  if (opts.with_estimate) {
-    report.estimate = estimate(model, input.h, input.w);
-  }
-  return report;
+  return compiled_for(model, input.h, input.w).run(input, opts, pool_);
 }
 
 Tensor Session::reference(const Model& model, const Tensor& input) {
@@ -134,9 +78,7 @@ Tensor Session::reference(const Model& model, const Tensor& input) {
         "Session::reference: model '" + model.name() + "' carries no weights");
   }
   Tensor ref = input;
-  for (const ModelLayer& l : model.layers()) {
-    ref = apply_post_ops(conv_reference(ref, l.filters, l.spec), l);
-  }
+  for (const ModelLayer& l : model.layers()) ref = reference_layer(ref, l);
   return ref;
 }
 
@@ -173,21 +115,8 @@ BatchRunReport Session::run_batch(const Model& model,
   return batch;
 }
 
-TileConfig Session::composed_tile(const TileConfig& geometry) const {
-  TileConfig t = geometry;
-  t.datapath = spec_.datapath;
-  if (t.c_unroll != spec_.datapath.n_inputs) {
-    throw std::invalid_argument(
-        "Session::estimate: tile c_unroll (" + std::to_string(t.c_unroll) +
-        ") must equal datapath n_inputs (" +
-        std::to_string(spec_.datapath.n_inputs) +
-        ") -- one RunSpec drives both paths");
-  }
-  return t;
-}
-
 NetworkSimResult Session::estimate(const Network& net) const {
-  return simulate_network(net, composed_tile(spec_.tile), spec_.sim);
+  return simulate_network(net, composed_tile_for(spec_, spec_.tile), spec_.sim);
 }
 
 NetworkSimResult Session::estimate(const Model& model, int input_h,
@@ -198,7 +127,7 @@ NetworkSimResult Session::estimate(const Model& model, int input_h,
 NetworkSimResult Session::estimate(const Model& model, const TileConfig& tile,
                                    int input_h, int input_w) const {
   return simulate_network(model.shape_table(input_h, input_w),
-                          composed_tile(tile), spec_.sim);
+                          composed_tile_for(spec_, tile), spec_.sim);
 }
 
 }  // namespace mpipu

@@ -3,60 +3,39 @@
 // uses at network granularity:
 //
 //   * the numeric path -- Session::run / run_batch execute a Model layer by
-//     layer on the bit-accurate datapath through a pooled ConvEngine
-//     (activation tensors threaded between layers, FP32 reference chain
-//     computed alongside), producing a RunReport that unifies per-layer
-//     DatapathStats, error metrics and (on request) simulated cycles;
+//     layer on the bit-accurate datapath (activation tensors threaded
+//     between layers, FP32 reference chain computed alongside), producing a
+//     RunReport that unifies per-layer DatapathStats, error metrics and (on
+//     request) simulated cycles;
 //   * the analytical path -- Session::estimate costs the Model's shape
 //     table on the cycle simulator with the same datapath config plugged
 //     into the tile.
 //
-// The Session owns one ThreadPool, shared by every engine in its pool;
-// engines are keyed by (DatapathConfig, AccumKind) so a mixed-precision
-// policy touching several accumulation modes still reuses datapaths and
-// threads across layers and runs.  Determinism: for a fixed spec and inputs
-// the outputs and every stats counter are identical for 1 and N threads.
+// Since the compile/run split (api/compiled_model.h), Session::run is
+// compile-on-first-use sugar: the model is compiled into an immutable
+// CompiledModel on the first run (cached by exact model content --
+// CompiledModel::matches -- and input geometry, so re-runs, sweeps and
+// batches never re-pay the weight pipeline) and executed on the Session's
+// shared ThreadPool.
+// Outputs, stats and cycles are byte-identical to pre-split Session runs.
+// Use Session for conversational work -- one caller, ad-hoc models; call
+// Session::compile and hold the CompiledModel yourself for serving --
+// weights prepared once at load time, concurrent reentrant callers.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/compiled_model.h"
 #include "api/model.h"
-#include "api/precision_policy.h"
 #include "api/run_report.h"
+#include "api/run_spec.h"
 #include "common/thread_pool.h"
-#include "nn/conv_engine.h"
 #include "sim/cycle_sim.h"
 #include "sim/tile.h"
 
 namespace mpipu {
-
-/// The one config driving both the numeric and the cycle-sim paths.
-struct RunSpec {
-  /// Datapath of every IPU: used directly by run() and plugged into the
-  /// tile by estimate().  tile.datapath is ignored -- this is the source of
-  /// truth (the old three-config split this API replaces).
-  DatapathConfig datapath{};
-  /// Tile geometry for the cycle-sim path (unrolls, clustering, buffers).
-  /// tile.c_unroll must equal datapath.n_inputs.
-  TileConfig tile{};
-  /// Per-layer precision choices for the numeric path.
-  PrecisionPolicy policy{};
-  /// Worker count of the shared pool; <= 0 selects hardware_concurrency().
-  int threads = 1;
-  /// Sampling options for the cycle-sim path (iterations_per_op is
-  /// deprecated there; the scheme derives it).
-  SimOptions sim{};
-};
-
-struct RunOptions {
-  /// Compute the exact FP32 reference chain and per-layer error metrics.
-  bool compare_reference = true;
-  /// Also run the cycle simulator on the model's shape table and attach the
-  /// NetworkSimResult to the report.
-  bool with_estimate = false;
-};
 
 class Session {
  public:
@@ -65,8 +44,17 @@ class Session {
   const RunSpec& spec() const { return spec_; }
   int threads() const { return pool_.size(); }
 
-  /// Full forward pass of `model` on `input`.  Throws std::invalid_argument
-  /// -- before any layer executes -- on a weightless model, an input/model
+  /// Compile `model` against this session's spec: resolve the policy,
+  /// validate everything, bake the packed filter planes.  The returned
+  /// CompiledModel is self-contained (shares nothing with this Session) and
+  /// safe for concurrent callers.  Throws std::invalid_argument on a
+  /// weightless model, an unsupported INT layer, or missing input dims.
+  CompiledModel compile(const Model& model, const CompileOptions& opts) const;
+
+  /// Full forward pass of `model` on `input`.  Compile-on-first-use: the
+  /// first call (per model content and input geometry) compiles, later
+  /// calls hit the cache and only execute.  Throws std::invalid_argument --
+  /// before any layer executes -- on a weightless model, an input/model
   /// channel mismatch, or a policy asking for INT on a datapath that does
   /// not support it (e.g. the FP-only spatial scheme).
   RunReport run(const Model& model, const Tensor& input,
@@ -97,20 +85,18 @@ class Session {
   NetworkSimResult estimate(const Network& net) const;
 
  private:
-  ConvEngine& engine_for(const DatapathConfig& dp, AccumKind accum);
-  TileConfig composed_tile(const TileConfig& geometry) const;
+  /// The compile-on-first-use cache behind run(): exact-match lookup
+  /// (CompiledModel::matches -- cheap field checks, then the weight bytes)
+  /// keyed by model content and input geometry, LRU-evicted.
+  const CompiledModel& compiled_for(const Model& model, int input_h,
+                                    int input_w);
 
   RunSpec spec_;
   ThreadPool pool_;
-  /// Lazily built throwaway unit used only to answer supports_int() during
-  /// up-front policy validation (kept so batches don't rebuild it per run).
-  std::unique_ptr<Datapath> probe_;
-  struct PoolEntry {
-    DatapathConfig datapath;
-    AccumKind accum;
-    std::unique_ptr<ConvEngine> engine;
+  struct CacheEntry {
+    std::shared_ptr<const CompiledModel> compiled;
   };
-  std::vector<PoolEntry> engines_;
+  std::vector<CacheEntry> compiled_cache_;
 };
 
 }  // namespace mpipu

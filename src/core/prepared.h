@@ -22,6 +22,13 @@
 // preparing per tensor, per chunk, or per op yields identical planes --
 // which is what makes the span-of-Fp16 compatibility wrappers bit- and
 // cycle-identical by construction.
+//
+// Thread-safety: prepared planes are plain SoA buffers that are only
+// written during set()/assign()/gather(); once filled, a `const
+// PreparedFp16`/`PreparedInt` (and any view over it) is safe to read from
+// any number of threads concurrently.  The compile-once pipeline
+// (api/compiled_model.h) relies on this: packed filter planes are built
+// once at compile time and shared `const` across concurrent executors.
 #pragma once
 
 #include <cstdint>

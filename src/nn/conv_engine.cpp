@@ -1,166 +1,13 @@
 #include "nn/conv_engine.h"
 
-#include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
-#include <utility>
 
 #include "nn/conv.h"
+#include "nn/conv_plan.h"
 #include "workload/quantizer.h"
 
 namespace mpipu {
-
-namespace {
-
-/// One in-bounds kernel-window shape ("clip class") and everything the
-/// per-(pixel, co) loop needs for it, computed once per convolution:
-///
-///   * `rel_input`: base-relative input offsets of the window's taps in the
-///     canonical ky -> kx -> ci gather order (the same order the legacy
-///     loop streamed operands in, so results stay bit-identical); a pixel's
-///     absolute tap index is rel_input[t] + (iy0*W + ix0);
-///   * `filters`: the per-output-channel filter operand streams, packed
-///     into contiguous prepared planes (co's stream = [co*len, (co+1)*len))
-///     -- the old loop re-gathered these len values for every single pixel.
-///
-/// Interior pixels all share one class; border pixels fall into at most
-/// (kh+1) x (kw+1) distinct ky-range x kx-range combinations, so the
-/// packing cost is a handful of filter-bank sweeps.
-template <typename Planes>
-struct ClipClass {
-  std::vector<int32_t> rel_input;
-  Planes filters;
-  int len = 0;
-};
-
-/// Axis factorization of the clip classes: the in-bounds kernel range along
-/// y depends only on y (likewise x), so class(y, x) = y_class[y] * nx +
-/// x_class[x] over the cross product of distinct per-axis ranges.
-struct AxisRanges {
-  std::vector<int32_t> class_of;          // output coordinate -> range id
-  std::vector<std::pair<int, int>> uniq;  // range id -> [k0, k1)
-
-  void build(int out, int stride, int pad, int k, int in) {
-    class_of.resize(static_cast<size_t>(out));
-    uniq.clear();
-    for (int o = 0; o < out; ++o) {
-      const int i0 = o * stride - pad;
-      const std::pair<int, int> r{std::max(0, -i0), std::min(k, in - i0)};
-      size_t id = 0;
-      while (id < uniq.size() && uniq[id] != r) ++id;
-      if (id == uniq.size()) uniq.push_back(r);
-      class_of[static_cast<size_t>(o)] = static_cast<int32_t>(id);
-    }
-  }
-};
-
-template <typename Planes>
-struct ConvPlan {
-  std::vector<ClipClass<Planes>> classes;
-  AxisRanges ys, xs;
-
-  int class_of(int y, int x) const {
-    return ys.class_of[static_cast<size_t>(y)] *
-               static_cast<int>(xs.uniq.size()) +
-           xs.class_of[static_cast<size_t>(x)];
-  }
-
-  void build(const Tensor& input, const FilterBank& f, const ConvSpec& spec,
-             const Planes& flt_planes, int ho, int wo) {
-    ys.build(ho, spec.stride, spec.pad, f.kh, input.h);
-    xs.build(wo, spec.stride, spec.pad, f.kw, input.w);
-    const size_t filter_block =
-        static_cast<size_t>(f.cin) * f.kh * f.kw;
-    classes.resize(ys.uniq.size() * xs.uniq.size());
-    std::vector<int32_t> rel_filter;
-    for (size_t yr = 0; yr < ys.uniq.size(); ++yr) {
-      for (size_t xr = 0; xr < xs.uniq.size(); ++xr) {
-        ClipClass<Planes>& cls = classes[yr * xs.uniq.size() + xr];
-        rel_filter.clear();
-        for (int ky = ys.uniq[yr].first; ky < ys.uniq[yr].second; ++ky) {
-          for (int kx = xs.uniq[xr].first; kx < xs.uniq[xr].second; ++kx) {
-            for (int ci = 0; ci < input.c; ++ci) {
-              cls.rel_input.push_back(static_cast<int32_t>(
-                  (static_cast<size_t>(ci) * input.h + ky) *
-                      static_cast<size_t>(input.w) +
-                  kx));
-              rel_filter.push_back(static_cast<int32_t>(
-                  (static_cast<size_t>(ci) * f.kh + ky) *
-                      static_cast<size_t>(f.kw) +
-                  kx));
-            }
-          }
-        }
-        cls.len = static_cast<int>(cls.rel_input.size());
-        cls.filters.match_layout(flt_planes);
-        cls.filters.resize(static_cast<size_t>(cls.len) * f.cout);
-        for (int co = 0; co < f.cout; ++co) {
-          cls.filters.gather(flt_planes, rel_filter,
-                             static_cast<int64_t>(co) * static_cast<int64_t>(filter_block),
-                             static_cast<size_t>(co) * static_cast<size_t>(cls.len));
-        }
-      }
-    }
-  }
-};
-
-/// The shared conv driver over prepared operand planes: per pixel, one
-/// plane-copy gather stages the input patch (shared across all output
-/// channels); per (pixel, co) the inner loop is contiguous streaming over
-/// the staged input and the clip class's packed filter stream -- zero
-/// gathers, zero allocations, zero re-decodes.  `accumulate` runs one
-/// <= n_inputs chunk on the datapath; `readout` extracts the finished
-/// pixel.
-template <typename Planes, typename AccumulateFn, typename ReadoutFn>
-Tensor run_conv(ThreadPool& pool, std::vector<std::unique_ptr<Datapath>>& units,
-                int n_inputs, const Tensor& input, const FilterBank& filters,
-                const ConvSpec& spec, const Planes& in_planes,
-                const Planes& flt_planes, AccumulateFn&& accumulate,
-                ReadoutFn&& readout) {
-  assert(input.c == filters.cin);
-  const int ho = spec.out_dim(input.h, filters.kh);
-  const int wo = spec.out_dim(input.w, filters.kw);
-  Tensor out(filters.cout, ho, wo);
-
-  ConvPlan<Planes> plan;
-  plan.build(input, filters, spec, flt_planes, ho, wo);
-
-  pool.parallel_for(
-      static_cast<int64_t>(ho) * wo, [&](int64_t begin, int64_t end, int slot) {
-        Datapath& dp = *units[static_cast<size_t>(slot)];
-        Planes staged;  // per-slot staging planes, reused across pixels
-        staged.match_layout(in_planes);
-        for (int64_t p = begin; p < end; ++p) {
-          const int y = static_cast<int>(p / wo);
-          const int x = static_cast<int>(p % wo);
-          const ClipClass<Planes>& cls =
-              plan.classes[static_cast<size_t>(plan.class_of(y, x))];
-          const int len = cls.len;
-          const int64_t base =
-              static_cast<int64_t>(y * spec.stride - spec.pad) * input.w +
-              (x * spec.stride - spec.pad);
-          staged.resize(static_cast<size_t>(len));
-          staged.gather(in_planes, cls.rel_input, base);
-          for (int co = 0; co < filters.cout; ++co) {
-            const auto stream_base =
-                static_cast<size_t>(co) * static_cast<size_t>(len);
-            dp.reset_accumulator();
-            for (int c0 = 0; c0 < len; c0 += n_inputs) {
-              const auto chunk =
-                  static_cast<size_t>(std::min(n_inputs, len - c0));
-              accumulate(dp, staged.view(static_cast<size_t>(c0), chunk),
-                         cls.filters.view(stream_base + static_cast<size_t>(c0),
-                                          chunk));
-            }
-            out.at(co, y, x) = readout(dp);
-          }
-        }
-      });
-  return out;
-}
-
-}  // namespace
 
 ConvEngine::ConvEngine(const ConvEngineConfig& cfg)
     : cfg_(cfg),
@@ -183,29 +30,15 @@ ConvEngine::ConvEngine(const ConvEngineConfig& cfg, ThreadPool& pool)
 Tensor ConvEngine::conv_fp16(const Tensor& input, const FilterBank& filters,
                              const ConvSpec& spec) {
   // Decode once, allocate never: each tensor is rounded to FP16 AND
-  // decomposed into prepared SoA planes exactly once; the hot loop streams
-  // plane views through fp16_accumulate_prepared.
-  PreparedFp16 in_planes;
-  in_planes.resize(input.data.size());
-  for (size_t i = 0; i < input.data.size(); ++i) {
-    in_planes.set(i, Fp16::from_double(input.data[i]));
-  }
-  PreparedFp16 flt_planes;
-  flt_planes.resize(filters.data.size());
-  for (size_t i = 0; i < filters.data.size(); ++i) {
-    flt_planes.set(i, Fp16::from_double(filters.data[i]));
-  }
-
-  const bool to_fp16 = cfg_.accum == AccumKind::kFp16;
-  return run_conv<PreparedFp16>(
-      *pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in_planes,
-      flt_planes,
-      [](Datapath& dp, const PreparedFp16View& a, const PreparedFp16View& b) {
-        dp.fp16_accumulate_prepared(a, b);
-      },
-      [to_fp16](Datapath& dp) {
-        return to_fp16 ? dp.read_fp16().to_double() : dp.read_fp32().to_double();
-      });
+  // decomposed into prepared SoA planes exactly once; the plan packs the
+  // per-clip-class filter streams and the executor streams plane views
+  // through fp16_accumulate_prepared.
+  const PreparedFp16 in_planes = prepare_fp16_planes(input.data);
+  const PreparedFp16 flt_planes = prepare_fp16_planes(filters.data);
+  ConvPlan<PreparedFp16> plan;
+  plan.build(input.c, input.h, input.w, filters, spec, flt_planes);
+  return execute_fp16_plan(plan, in_planes, *pool_, units_,
+                           cfg_.datapath.n_inputs, cfg_.accum);
 }
 
 Tensor ConvEngine::conv_int(const Tensor& input, const FilterBank& filters,
@@ -224,21 +57,12 @@ Tensor ConvEngine::conv_int(const Tensor& input, const FilterBank& filters,
   // The bit-serial scheme streams raw values and never reads digit planes;
   // skip packing them on its tensors.
   const bool digits = cfg_.datapath.scheme != DecompositionScheme::kSerial;
-  PreparedInt in_planes;
-  in_planes.assign(quantize(input.data, qa), a_bits, false, digits);
-  PreparedInt flt_planes;
-  flt_planes.assign(quantize(filters.data, qw), w_bits, false, digits);
-
-  return run_conv<PreparedInt>(
-      *pool_, units_, cfg_.datapath.n_inputs, input, filters, spec, in_planes,
-      flt_planes,
-      [a_bits, w_bits](Datapath& dp, const PreparedIntView& a,
-                       const PreparedIntView& b) {
-        dp.int_accumulate_prepared(a, b, a_bits, w_bits);
-      },
-      [&qa, &qw](Datapath& dp) {
-        return dequantize_accumulator(dp.read_int(), qa, qw);
-      });
+  const PreparedInt in_planes = prepare_int_planes(input.data, qa, digits);
+  const PreparedInt flt_planes = prepare_int_planes(filters.data, qw, digits);
+  ConvPlan<PreparedInt> plan;
+  plan.build(input.c, input.h, input.w, filters, spec, flt_planes);
+  return execute_int_plan(plan, in_planes, *pool_, units_,
+                          cfg_.datapath.n_inputs, a_bits, w_bits, qa, qw);
 }
 
 Tensor ConvEngine::dgrad_fp16(const Tensor& grad_out, const FilterBank& filters,
@@ -254,6 +78,14 @@ DatapathStats ConvEngine::stats() const {
   DatapathStats total;
   for (const auto& u : units_) total += u->stats();
   return total;
+}
+
+void ConvEngine::reset_stats() {
+  // The scheme implementations expose no counter reset; rebuilding the
+  // per-slot datapaths zeroes every counter and leaves behaviour untouched
+  // (units carry no cross-call numeric state -- the accumulator is reset
+  // per output pixel anyway).
+  for (auto& u : units_) u = make_datapath(cfg_.datapath);
 }
 
 }  // namespace mpipu

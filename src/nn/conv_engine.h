@@ -7,13 +7,15 @@
 //   * prepared-operand pipeline (core/prepared.h): inputs and filters are
 //     rounded to FP16 (or quantized to INT) AND decoded + nibble-decomposed
 //     once, per tensor, into SoA planes -- never once per op;
-//   * clip-class packing: output pixels sharing one in-bounds kernel window
-//     (all interior pixels, plus at most (kh+1)*(kw+1) border shapes) share
-//     one im2col plan, and each class's per-output-channel filter operand
-//     streams are packed into contiguous prepared planes once, so the
-//     per-(pixel, co) inner loop is pure streaming -- zero gathers, zero
-//     allocations, zero re-decodes (one staging plane-copy per pixel covers
-//     the input side for all output channels);
+//   * clip-class packing (nn/conv_plan.h): output pixels sharing one
+//     in-bounds kernel window (all interior pixels, plus at most
+//     (kh+1)*(kw+1) border shapes) share one im2col plan, and each class's
+//     per-output-channel filter operand streams are packed into contiguous
+//     prepared planes once, so the per-(pixel, co) inner loop is pure
+//     streaming -- zero gathers, zero allocations, zero re-decodes (one
+//     staging plane-copy per pixel covers the input side for all output
+//     channels).  The engine builds this ConvPlan per call; compile-once
+//     callers (api/compiled_model.h) build it per layer and share it;
 //   * a fixed-size thread pool (src/common/thread_pool.h) parallelizes over
 //     output pixels, with one private `Datapath` instance per worker slot;
 //   * statistics reduce deterministically: every counter is a sum (or the
@@ -80,7 +82,18 @@ class ConvEngine {
   /// Stats aggregated over all worker datapaths (deterministic: every
   /// counter is a sum over pixels, and each pixel is computed exactly once
   /// regardless of the thread count).
+  ///
+  /// CONTRACT: this engine's counters accumulate silently across calls --
+  /// the legacy whole-lifetime view.  Callers wanting per-conv numbers must
+  /// difference stats() around the call or reset_stats() between calls.
+  /// The compile-once executors (api/compiled_model.h) have the other
+  /// contract: fresh per-call scratch, so every RunReport's stats are
+  /// per-call by construction.
   DatapathStats stats() const;
+
+  /// Zero every counter (rebuilds the per-slot datapaths; numeric behaviour
+  /// is unaffected -- units carry no cross-call numeric state).
+  void reset_stats();
 
  private:
   ConvEngineConfig cfg_;

@@ -1,0 +1,53 @@
+#include "nn/conv_plan.h"
+
+namespace mpipu {
+
+PreparedFp16 prepare_fp16_planes(std::span<const double> values) {
+  PreparedFp16 planes;
+  planes.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    planes.set(i, Fp16::from_double(values[i]));
+  }
+  return planes;
+}
+
+PreparedInt prepare_int_planes(std::span<const double> values,
+                               const QuantParams& params, bool with_digits) {
+  PreparedInt planes;
+  planes.assign(quantize(values, params), params.bits, params.is_unsigned,
+                with_digits);
+  return planes;
+}
+
+Tensor execute_fp16_plan(const ConvPlan<PreparedFp16>& plan,
+                         const PreparedFp16& in_planes, ThreadPool& pool,
+                         std::span<const std::unique_ptr<Datapath>> units,
+                         int n_inputs, AccumKind accum) {
+  const bool to_fp16 = accum == AccumKind::kFp16;
+  return run_conv_plan<PreparedFp16>(
+      plan, in_planes, pool, units, n_inputs,
+      [](Datapath& dp, const PreparedFp16View& a, const PreparedFp16View& b) {
+        dp.fp16_accumulate_prepared(a, b);
+      },
+      [to_fp16](Datapath& dp) {
+        return to_fp16 ? dp.read_fp16().to_double() : dp.read_fp32().to_double();
+      });
+}
+
+Tensor execute_int_plan(const ConvPlan<PreparedInt>& plan,
+                        const PreparedInt& in_planes, ThreadPool& pool,
+                        std::span<const std::unique_ptr<Datapath>> units,
+                        int n_inputs, int a_bits, int w_bits,
+                        const QuantParams& qa, const QuantParams& qw) {
+  return run_conv_plan<PreparedInt>(
+      plan, in_planes, pool, units, n_inputs,
+      [a_bits, w_bits](Datapath& dp, const PreparedIntView& a,
+                       const PreparedIntView& b) {
+        dp.int_accumulate_prepared(a, b, a_bits, w_bits);
+      },
+      [&qa, &qw](Datapath& dp) {
+        return dequantize_accumulator(dp.read_int(), qa, qw);
+      });
+}
+
+}  // namespace mpipu

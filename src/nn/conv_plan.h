@@ -1,0 +1,232 @@
+// ConvPlan: the planning half of the convolution pipeline, split out of
+// ConvEngine so it can be built once and shared immutably.
+//
+// A plan captures everything about one conv layer that does not depend on
+// the activation values: the output geometry, the clip classes (in-bounds
+// kernel-window shapes) with their base-relative input gather offsets, and
+// -- the expensive part -- each class's per-output-channel *filter* operand
+// streams packed into contiguous prepared planes (core/prepared.h).  PR 3
+// built this per ConvEngine call; compile-once callers (api/compiled_model.h)
+// build it once per layer at model-compile time and share it `const` across
+// any number of concurrent executions.
+//
+// The execution half is stateless with respect to the plan: `run_conv_plan`
+// streams per-call prepared activation planes against a `const` plan, using
+// caller-supplied scratch (a thread pool plus one private Datapath per
+// worker slot).  Nothing in the plan is written during execution, so one
+// plan serves N threads and M concurrent calls; determinism and
+// bit-exactness are inherited unchanged from the PR 3 hot loop this code
+// was lifted from.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/datapath.h"
+#include "nn/conv.h"
+#include "nn/tensor.h"
+#include "workload/quantizer.h"
+
+namespace mpipu {
+
+/// One in-bounds kernel-window shape ("clip class") and everything the
+/// per-(pixel, co) loop needs for it, computed once per plan:
+///
+///   * `rel_input`: base-relative input offsets of the window's taps in the
+///     canonical ky -> kx -> ci gather order (the same order the legacy
+///     loop streamed operands in, so results stay bit-identical); a pixel's
+///     absolute tap index is rel_input[t] + (iy0*W + ix0);
+///   * `filters`: the per-output-channel filter operand streams, packed
+///     into contiguous prepared planes (co's stream = [co*len, (co+1)*len))
+///     -- the old loop re-gathered these len values for every single pixel.
+///
+/// Interior pixels all share one class; border pixels fall into at most
+/// (kh+1) x (kw+1) distinct ky-range x kx-range combinations, so the
+/// packing cost is a handful of filter-bank sweeps.
+template <typename Planes>
+struct ClipClass {
+  std::vector<int32_t> rel_input;
+  Planes filters;
+  int len = 0;
+};
+
+/// Axis factorization of the clip classes: the in-bounds kernel range along
+/// y depends only on y (likewise x), so class(y, x) = y_class[y] * nx +
+/// x_class[x] over the cross product of distinct per-axis ranges.
+struct AxisRanges {
+  std::vector<int32_t> class_of;          // output coordinate -> range id
+  std::vector<std::pair<int, int>> uniq;  // range id -> [k0, k1)
+
+  void build(int out, int stride, int pad, int k, int in) {
+    class_of.resize(static_cast<size_t>(out));
+    uniq.clear();
+    for (int o = 0; o < out; ++o) {
+      const int i0 = o * stride - pad;
+      const std::pair<int, int> r{std::max(0, -i0), std::min(k, in - i0)};
+      size_t id = 0;
+      while (id < uniq.size() && uniq[id] != r) ++id;
+      if (id == uniq.size()) uniq.push_back(r);
+      class_of[static_cast<size_t>(o)] = static_cast<int32_t>(id);
+    }
+  }
+};
+
+/// The immutable per-layer plan: geometry + clip classes + packed filter
+/// streams for one (filter bank, conv spec, input dims) triple.  Built once
+/// (build()), then only read -- safe to share `const` across threads.
+template <typename Planes>
+struct ConvPlan {
+  int in_c = 0, in_h = 0, in_w = 0;  ///< activation dims the plan was built for
+  int ho = 0, wo = 0, cout = 0;      ///< conv output geometry
+  int stride = 1, pad = 0;
+  std::vector<ClipClass<Planes>> classes;
+  AxisRanges ys, xs;
+
+  int class_of(int y, int x) const {
+    return ys.class_of[static_cast<size_t>(y)] *
+               static_cast<int>(xs.uniq.size()) +
+           xs.class_of[static_cast<size_t>(x)];
+  }
+
+  void build(int input_c, int input_h, int input_w, const FilterBank& f,
+             const ConvSpec& spec, const Planes& flt_planes) {
+    assert(input_c == f.cin);
+    in_c = input_c;
+    in_h = input_h;
+    in_w = input_w;
+    ho = spec.out_dim(input_h, f.kh);
+    wo = spec.out_dim(input_w, f.kw);
+    cout = f.cout;
+    stride = spec.stride;
+    pad = spec.pad;
+    ys.build(ho, spec.stride, spec.pad, f.kh, input_h);
+    xs.build(wo, spec.stride, spec.pad, f.kw, input_w);
+    const size_t filter_block =
+        static_cast<size_t>(f.cin) * f.kh * f.kw;
+    classes.clear();
+    classes.resize(ys.uniq.size() * xs.uniq.size());
+    std::vector<int32_t> rel_filter;
+    for (size_t yr = 0; yr < ys.uniq.size(); ++yr) {
+      for (size_t xr = 0; xr < xs.uniq.size(); ++xr) {
+        ClipClass<Planes>& cls = classes[yr * xs.uniq.size() + xr];
+        rel_filter.clear();
+        for (int ky = ys.uniq[yr].first; ky < ys.uniq[yr].second; ++ky) {
+          for (int kx = xs.uniq[xr].first; kx < xs.uniq[xr].second; ++kx) {
+            for (int ci = 0; ci < input_c; ++ci) {
+              cls.rel_input.push_back(static_cast<int32_t>(
+                  (static_cast<size_t>(ci) * input_h + ky) *
+                      static_cast<size_t>(input_w) +
+                  kx));
+              rel_filter.push_back(static_cast<int32_t>(
+                  (static_cast<size_t>(ci) * f.kh + ky) *
+                      static_cast<size_t>(f.kw) +
+                  kx));
+            }
+          }
+        }
+        cls.len = static_cast<int>(cls.rel_input.size());
+        cls.filters.match_layout(flt_planes);
+        cls.filters.resize(static_cast<size_t>(cls.len) * f.cout);
+        for (int co = 0; co < f.cout; ++co) {
+          cls.filters.gather(flt_planes, rel_filter,
+                             static_cast<int64_t>(co) * static_cast<int64_t>(filter_block),
+                             static_cast<size_t>(co) * static_cast<size_t>(cls.len));
+        }
+      }
+    }
+  }
+};
+
+/// The stateless conv executor over a const plan and prepared activation
+/// planes: per pixel, one plane-copy gather stages the input patch (shared
+/// across all output channels); per (pixel, co) the inner loop is contiguous
+/// streaming over the staged input and the clip class's packed filter
+/// stream -- zero gathers, zero allocations, zero re-decodes.  `accumulate`
+/// runs one <= n_inputs chunk on the datapath; `readout` extracts the
+/// finished pixel.  All mutable state lives in the caller's scratch (`pool`
+/// + one private `Datapath` per worker slot + per-slot staging planes), so
+/// concurrent calls against the same plan never interfere.
+template <typename Planes, typename AccumulateFn, typename ReadoutFn>
+Tensor run_conv_plan(const ConvPlan<Planes>& plan, const Planes& in_planes,
+                     ThreadPool& pool,
+                     std::span<const std::unique_ptr<Datapath>> units,
+                     int n_inputs, AccumulateFn&& accumulate,
+                     ReadoutFn&& readout) {
+  assert(static_cast<int>(units.size()) >= pool.size());
+  const int ho = plan.ho;
+  const int wo = plan.wo;
+  Tensor out(plan.cout, ho, wo);
+
+  pool.parallel_for(
+      static_cast<int64_t>(ho) * wo, [&](int64_t begin, int64_t end, int slot) {
+        Datapath& dp = *units[static_cast<size_t>(slot)];
+        Planes staged;  // per-slot staging planes, reused across pixels
+        staged.match_layout(in_planes);
+        for (int64_t p = begin; p < end; ++p) {
+          const int y = static_cast<int>(p / wo);
+          const int x = static_cast<int>(p % wo);
+          const ClipClass<Planes>& cls =
+              plan.classes[static_cast<size_t>(plan.class_of(y, x))];
+          const int len = cls.len;
+          const int64_t base =
+              static_cast<int64_t>(y * plan.stride - plan.pad) * plan.in_w +
+              (x * plan.stride - plan.pad);
+          staged.resize(static_cast<size_t>(len));
+          staged.gather(in_planes, cls.rel_input, base);
+          for (int co = 0; co < plan.cout; ++co) {
+            const auto stream_base =
+                static_cast<size_t>(co) * static_cast<size_t>(len);
+            dp.reset_accumulator();
+            for (int c0 = 0; c0 < len; c0 += n_inputs) {
+              const auto chunk =
+                  static_cast<size_t>(std::min(n_inputs, len - c0));
+              accumulate(dp, staged.view(static_cast<size_t>(c0), chunk),
+                         cls.filters.view(stream_base + static_cast<size_t>(c0),
+                                          chunk));
+            }
+            out.at(co, y, x) = readout(dp);
+          }
+        }
+      });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Concrete plan builders / executors shared by ConvEngine (plan-per-call)
+// and CompiledModel (plan-per-model).  Keeping both callers on these exact
+// functions is what makes compile-once execution bit-identical to the
+// engine path by construction.
+// ---------------------------------------------------------------------------
+
+/// Round a double tensor to FP16 and decode + nibble-decompose it into
+/// prepared SoA planes (exactly once).
+PreparedFp16 prepare_fp16_planes(std::span<const double> values);
+
+/// Quantize a double tensor to `params` and pack prepared INT planes.
+/// `with_digits` = false skips the radix-16 digit planes (the bit-serial
+/// scheme streams raw values and never reads them).
+PreparedInt prepare_int_planes(std::span<const double> values,
+                               const QuantParams& params, bool with_digits);
+
+/// FP16 plan executor: every inner product on the scheme datapath, partial
+/// sums in the datapath accumulator, rounded to `accum` once per pixel.
+Tensor execute_fp16_plan(const ConvPlan<PreparedFp16>& plan,
+                         const PreparedFp16& in_planes, ThreadPool& pool,
+                         std::span<const std::unique_ptr<Datapath>> units,
+                         int n_inputs, AccumKind accum);
+
+/// INT plan executor: quantized operands through the datapath's INT mode,
+/// dequantized on readout with the two quant scales.
+Tensor execute_int_plan(const ConvPlan<PreparedInt>& plan,
+                        const PreparedInt& in_planes, ThreadPool& pool,
+                        std::span<const std::unique_ptr<Datapath>> units,
+                        int n_inputs, int a_bits, int w_bits,
+                        const QuantParams& qa, const QuantParams& qw);
+
+}  // namespace mpipu

@@ -14,18 +14,6 @@ int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
 /// the software precision.
 constexpr int kMaskedExp = kMaskedProductExp;
 
-/// Service time (cycles) of one FP-IP op on one IPU: iterations x bands,
-/// per the scheme-generic §3.2 banding model of core/datapath.h.  An
-/// explicit iterations_per_op override (e.g. 4 for BF16 nibble ops)
-/// rescales the scheme's base step count.
-int op_cycles(const std::vector<int>& product_exps, const DatapathConfig& dp,
-              int iterations_per_op) {
-  const int cycles = fp16_op_service_cycles(product_exps, dp);
-  const int base = fp16_iterations_per_op(dp.scheme);
-  if (iterations_per_op <= 0 || iterations_per_op == base) return cycles;
-  return cycles / base * iterations_per_op;  // cycles is a multiple of base
-}
-
 }  // namespace
 
 int64_t layer_broadcast_steps(const ConvLayer& layer, const TileConfig& tile) {
@@ -108,7 +96,9 @@ NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
             product_exps[static_cast<size_t>(p)] =
                 ae == kMaskedExp ? kMaskedExp : ae + sample_jitter(rng, wgt_jitter);
           }
-          const int cyc = op_cycles(product_exps, tile.datapath, iters_per_op);
+          // Service time of one FP-IP op: iterations x bands, per the
+          // scheme-generic §3.2 banding model of core/datapath.h.
+          const int cyc = fp16_op_service_cycles(product_exps, tile.datapath);
           service = std::max(service, cyc);
           iteration_cycles_sum += static_cast<double>(cyc) / iters_per_op;
           ++iteration_count;

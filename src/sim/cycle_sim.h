@@ -39,18 +39,13 @@ struct SimOptions {
   /// Exponent pool size per distribution.
   int exponent_pool = 1 << 15;
   uint64_t seed = 0xC0FFEE;
-  /// DEPRECATED -- since the scheme-generic datapath the base step count per
-  /// FP16 op is derived from the tile's decomposition scheme (9 nibble
-  /// iterations temporal, 12 bit steps serial, 1 spatial); leave this at 0.
-  /// A positive value still overrides the derivation for legacy callers
-  /// (e.g. 4 to approximate BF16 nibble ops) but will be removed.
-  int iterations_per_op = 0;
 
-  /// The one derivation point for the per-op base step count: the deprecated
-  /// override when set, else the scheme's own count.
+  /// The one derivation point for the per-op base step count: the tile's
+  /// decomposition scheme fixes it (9 nibble iterations temporal, 12 bit
+  /// steps serial, 1 spatial).  The deprecated `iterations_per_op` override
+  /// this method folded in (PR 2) has been removed.
   int effective_iterations_per_op(DecompositionScheme scheme) const {
-    return iterations_per_op > 0 ? iterations_per_op
-                                 : fp16_iterations_per_op(scheme);
+    return fp16_iterations_per_op(scheme);
   }
 };
 

@@ -67,6 +67,8 @@ struct ExponentJitter {
   double p_zero = 0.65;
   double decay = 0.55;
   int max_depth = 30;
+
+  friend bool operator==(const ExponentJitter&, const ExponentJitter&) = default;
 };
 
 /// Draw one jitter value (<= 0).
@@ -86,6 +88,9 @@ struct LayerTensorStats {
   /// software precision and are masked by the EHU -- they contribute no
   /// alignment cycles.
   double act_zero_prob = 0.0;
+
+  friend bool operator==(const LayerTensorStats&, const LayerTensorStats&) =
+      default;
 };
 
 /// Canonical tensor statistics for the four study cases of §4.1.

@@ -26,6 +26,8 @@ struct ConvLayer {
   int64_t macs() const {
     return static_cast<int64_t>(cin) * cout * kh * kw * hout * wout;
   }
+
+  friend bool operator==(const ConvLayer&, const ConvLayer&) = default;
 };
 
 struct Network {
@@ -38,6 +40,8 @@ struct Network {
     for (const auto& l : layers) t += l.macs() * l.repeat;
     return t;
   }
+
+  friend bool operator==(const Network&, const Network&) = default;
 };
 
 /// Forward-path convolution stacks.

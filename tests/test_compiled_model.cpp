@@ -1,0 +1,382 @@
+// Tests for the compile-once / run-many API (api/compiled_model.h):
+//
+//  * CompiledModel::run is byte-identical to Session::run -- outputs,
+//    per-layer stats, totals, errors, cycles, and the serialized report --
+//    for all three decomposition schemes and FP16/INT precision modes;
+//  * concurrent execution determinism: M requests on K host threads against
+//    ONE CompiledModel are byte-identical to the same requests run
+//    serially;
+//  * the policy is resolved at compile time and never re-resolved: mutating
+//    the policy after compile changes nothing, recompiling does;
+//  * compile-time validation: weightless models, INT on the FP-only spatial
+//    scheme, missing input dims, collapsing geometry, and run-time shape
+//    mismatches are all rejected with std::invalid_argument;
+//  * the ConvEngine stats contract: counters accumulate across calls
+//    (legacy) until reset_stats(), while CompiledModel reports are per-call.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "common/rng.h"
+
+namespace mpipu {
+namespace {
+
+DatapathConfig small_datapath(DecompositionScheme scheme) {
+  DatapathConfig cfg = DatapathConfig::for_scheme(scheme);
+  cfg.n_inputs = 16;
+  cfg.adder_tree_width = 16;
+  cfg.software_precision = 28;
+  cfg.multi_cycle = true;
+  return cfg;
+}
+
+/// Tiny 3-layer CNN with real weights (mirrors test_session's fixture).
+Model tiny_model(Rng& rng) {
+  std::vector<ModelLayer> layers(3);
+  layers[0].name = "conv1";
+  layers[0].filters = random_filters(rng, 6, 3, 3, 3, ValueDist::kNormal, 0.3);
+  layers[0].spec.pad = 1;
+  layers[0].relu = true;
+  layers[1].name = "conv2";
+  layers[1].filters = random_filters(rng, 8, 6, 3, 3, ValueDist::kNormal, 0.15);
+  layers[1].spec.pad = 1;
+  layers[1].relu = true;
+  layers[1].pool = PoolOp::kMax2;
+  layers[2].name = "head";
+  layers[2].filters = random_filters(rng, 4, 8, 1, 1, ValueDist::kNormal, 0.2);
+  return Model::from_layers("tiny3", std::move(layers));
+}
+
+void expect_tensors_identical(const Tensor& a, const Tensor& b,
+                              const char* what) {
+  ASSERT_EQ(a.data.size(), b.data.size()) << what;
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    ASSERT_EQ(a.data[i], b.data[i]) << what << " elt " << i;
+  }
+}
+
+void expect_reports_identical(const RunReport& a, const RunReport& b) {
+  expect_tensors_identical(a.output, b.output, "output");
+  expect_tensors_identical(a.reference_output, b.reference_output, "reference");
+  EXPECT_EQ(a.totals, b.totals);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_EQ(a.layers[l].layer, b.layers[l].layer);
+    EXPECT_EQ(a.layers[l].precision, b.layers[l].precision);
+    EXPECT_EQ(a.layers[l].stats, b.layers[l].stats) << "layer " << l;
+  }
+  // The serialized documents must agree byte for byte (covers error
+  // metrics, estimate payloads, field ordering -- everything).
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(CompiledModelTest, ByteIdenticalToSessionRunAllSchemesAndModes) {
+  Rng rng(31);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 12, 12, ValueDist::kHalfNormal, 1.0);
+
+  struct Case {
+    DecompositionScheme scheme;
+    bool with_int;
+    AccumKind accum;
+  };
+  const Case cases[] = {
+      {DecompositionScheme::kTemporal, true, AccumKind::kFp32},
+      {DecompositionScheme::kTemporal, false, AccumKind::kFp16},
+      {DecompositionScheme::kSerial, true, AccumKind::kFp32},
+      {DecompositionScheme::kSpatial, false, AccumKind::kFp32},  // FP-only
+  };
+  for (const Case& c : cases) {
+    RunSpec spec;
+    spec.datapath = small_datapath(c.scheme);
+    spec.policy = PrecisionPolicy::all_fp16(c.accum);
+    if (c.with_int) {
+      spec.policy.set_layer("conv2", LayerPrecision::int_bits(8, 8));
+    }
+    spec.threads = 1;
+    Session session(spec);
+    const RunReport via_session = session.run(model, input);
+
+    const CompiledModel compiled = session.compile(model, {12, 12});
+    const RunReport via_compiled = compiled.run(input);
+
+    EXPECT_EQ(via_compiled.scheme, scheme_name(c.scheme));
+    expect_reports_identical(via_compiled, via_session);
+    EXPECT_GT(via_compiled.totals.cycles, 0);
+  }
+}
+
+TEST(CompiledModelTest, WithEstimateMatchesSessionAndBatchComputesItOnce) {
+  Rng rng(32);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 12, 12, ValueDist::kHalfNormal, 1.0);
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  spec.tile = big_tile(16, 28);
+  spec.sim.sampled_steps = 100;
+  Session session(spec);
+  RunOptions opts;
+  opts.with_estimate = true;
+
+  const RunReport rs = session.run(model, input, opts);
+  const CompiledModel compiled = session.compile(model, {12, 12});
+  const RunReport rc = compiled.run(input, opts);
+  ASSERT_TRUE(rc.estimate.has_value());
+  EXPECT_EQ(rc.estimate->total_cycles, rs.estimate->total_cycles);
+  EXPECT_EQ(rc.to_json(), rs.to_json());
+
+  const BatchRunReport batch = compiled.run_batch({input, input}, opts);
+  ASSERT_EQ(batch.runs.size(), 2u);
+  EXPECT_EQ(batch.runs[0].estimate->total_cycles, rs.estimate->total_cycles);
+  EXPECT_EQ(batch.runs[1].estimate->total_cycles, rs.estimate->total_cycles);
+}
+
+TEST(CompiledModelTest, ConcurrentCallersAreByteIdenticalToSerial) {
+  Rng rng(33);
+  const Model model = tiny_model(rng);
+  constexpr int kRequests = 6;
+  constexpr int kThreads = 4;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0));
+  }
+
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  spec.policy = PrecisionPolicy::all_fp16(AccumKind::kFp32);
+  spec.policy.set_layer("conv2", LayerPrecision::int_bits(8, 8));
+  spec.threads = 1;  // serving mode: parallelism across requests
+  const CompiledModel compiled =
+      Session(spec).compile(model, {10, 10});
+
+  // Serial ground truth.
+  std::vector<RunReport> serial;
+  for (const Tensor& in : inputs) serial.push_back(compiled.run(in));
+
+  // K host threads hammer the one CompiledModel; every request is issued by
+  // several threads at once (maximum contention on the shared plan).
+  std::vector<std::vector<RunReport>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const Tensor& in : inputs) {
+        per_thread[static_cast<size_t>(t)].push_back(compiled.run(in));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(per_thread[static_cast<size_t>(t)].size(), serial.size());
+    for (size_t r = 0; r < serial.size(); ++r) {
+      expect_reports_identical(per_thread[static_cast<size_t>(t)][r],
+                               serial[r]);
+    }
+  }
+}
+
+TEST(CompiledModelTest, PolicyIsFrozenAtCompileTime) {
+  Rng rng(34);
+  const Model model = tiny_model(rng);
+  const Tensor input = random_tensor(rng, 3, 8, 8, ValueDist::kHalfNormal, 1.0);
+
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  spec.policy = PrecisionPolicy::all_fp16(AccumKind::kFp32);
+  const CompiledModel compiled =
+      CompiledModel::compile(model, spec, {8, 8});
+  ASSERT_EQ(compiled.layer_precisions().size(), 3u);
+  EXPECT_EQ(compiled.layer_precisions()[1],
+            LayerPrecision::fp16(AccumKind::kFp32));
+  const RunReport before = compiled.run(input);
+
+  // Mutating the policy object the model was compiled from must not leak
+  // into the existing plan: there is no re-resolution after compile.
+  spec.policy.set_layer("conv2", LayerPrecision::int_bits(8, 8));
+  const RunReport after = compiled.run(input);
+  EXPECT_EQ(after.layers[1].precision, "fp16+fp32acc");
+  expect_reports_identical(after, before);
+
+  // Recompiling against the mutated spec is how precision changes land.
+  const CompiledModel recompiled = CompiledModel::compile(model, spec, {8, 8});
+  EXPECT_EQ(recompiled.layer_precisions()[1], LayerPrecision::int_bits(8, 8));
+  const RunReport recompiled_run = recompiled.run(input);
+  EXPECT_EQ(recompiled_run.layers[1].precision, "int8x8");
+  EXPECT_GT(recompiled_run.layers[1].stats.int_ops, 0);
+}
+
+TEST(CompiledModelTest, CompileTimeValidationErrors) {
+  Rng rng(35);
+  const Model model = tiny_model(rng);
+
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  Session session(spec);
+
+  // Missing input dims.
+  EXPECT_THROW(session.compile(model, {}), std::invalid_argument);
+  EXPECT_THROW(session.compile(model, {0, 12}), std::invalid_argument);
+
+  // Weightless (shape-table) model.
+  Network net;
+  net.name = "shapes";
+  net.tensor_stats = forward_stats();
+  ConvLayer l;
+  l.name = "c1";
+  l.cin = 4;
+  l.cout = 4;
+  l.kh = l.kw = 3;
+  l.hout = l.wout = 8;
+  net.layers.push_back(l);
+  EXPECT_THROW(session.compile(Model::from_network(net), {8, 8}),
+               std::invalid_argument);
+
+  // INT policy on the FP-only spatial scheme, rejected at compile with a
+  // diagnostic naming the layer, the precision, and the scheme.
+  RunSpec spatial = spec;
+  spatial.datapath = small_datapath(DecompositionScheme::kSpatial);
+  spatial.policy.set_layer("conv2", LayerPrecision::int_bits(8, 8));
+  try {
+    Session(spatial).compile(model, {12, 12});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("conv2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("int8x8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("spatial"), std::string::npos) << msg;
+  }
+
+  // Geometry that collapses mid-chain (conv2's maxpool on a 2x2 map gives
+  // 1x1; the 3x3 pad-1 conv still works there, but a 4x4 pad-0 kernel
+  // cannot fit): build a model whose second layer underflows.
+  std::vector<ModelLayer> bad(2);
+  bad[0].name = "a";
+  bad[0].filters = random_filters(rng, 4, 3, 3, 3, ValueDist::kNormal, 0.2);
+  bad[1].name = "b";
+  bad[1].filters = random_filters(rng, 4, 4, 4, 4, ValueDist::kNormal, 0.2);
+  const Model collapsing = Model::from_layers("collapses", std::move(bad));
+  EXPECT_THROW(session.compile(collapsing, {4, 4}), std::invalid_argument);
+
+  // Run-time shape mismatch against the compiled geometry.
+  const CompiledModel compiled = session.compile(model, {12, 12});
+  EXPECT_THROW(compiled.run(Tensor(3, 10, 10)), std::invalid_argument);
+  EXPECT_THROW(compiled.run(Tensor(4, 12, 12)), std::invalid_argument);
+  EXPECT_NO_THROW(compiled.run(Tensor(3, 12, 12)));
+}
+
+TEST(CompiledModelTest, FingerprintAndMatchesTrackModelContent) {
+  Rng rng(36);
+  const Model model = tiny_model(rng);
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  const CompiledModel compiled = CompiledModel::compile(model, spec, {8, 8});
+
+  EXPECT_EQ(compiled.fingerprint(), model_fingerprint(model));
+  EXPECT_TRUE(compiled.matches(model));
+
+  // A one-ulp weight change flips both the fingerprint and the exact match.
+  Model tweaked = model;
+  std::vector<ModelLayer> layers = tweaked.layers();
+  layers[1].filters.data[0] += 1e-6;
+  tweaked = Model::from_layers("tiny3", std::move(layers));
+  EXPECT_NE(model_fingerprint(tweaked), compiled.fingerprint());
+  EXPECT_FALSE(compiled.matches(tweaked));
+}
+
+TEST(CompiledModelTest, CacheDistinguishesModelsByShapeTableStats) {
+  // Two from_network models with byte-identical (seeded) weights, names and
+  // layer specs but different tensor statistics / recorded shapes wrap
+  // different shape tables -- exactly what estimate() consumes.  The
+  // compile cache must not serve one model's estimate for the other.
+  Network net_a;
+  net_a.name = "twin";
+  net_a.tensor_stats = forward_stats();
+  ConvLayer l;
+  l.name = "c1";
+  l.cin = 4;
+  l.cout = 4;
+  l.kh = l.kw = 3;
+  l.hout = l.wout = 8;
+  net_a.layers.push_back(l);
+  Network net_b = net_a;
+  net_b.tensor_stats = backward_stats();  // same shapes, wider exponents
+
+  Model model_a = Model::from_network(net_a);
+  Model model_b = Model::from_network(net_b);
+  model_a.materialize_weights(7);
+  model_b.materialize_weights(7);  // same seed + dist: identical weights
+  ASSERT_EQ(model_a.layers()[0].filters.data, model_b.layers()[0].filters.data);
+  EXPECT_EQ(model_fingerprint(model_a), model_fingerprint(model_b));
+
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  spec.tile = big_tile(16, 28);
+  spec.sim.sampled_steps = 100;
+  Session session(spec);
+  RunOptions opts;
+  opts.with_estimate = true;
+  const Tensor input(4, 8, 8);
+  const RunReport ra = session.run(model_a, input, opts);
+  const RunReport rb = session.run(model_b, input, opts);
+  // matches() (the exact second stage) must have rejected the cache hit:
+  // backward stats spread alignments far wider, so the estimates differ.
+  EXPECT_NE(ra.estimate->total_cycles, rb.estimate->total_cycles);
+  EXPECT_FALSE(session.compile(model_a, {8, 8}).matches(model_b));
+}
+
+TEST(CompiledModelTest, SessionCompileCacheReusesAndRecompiles) {
+  Rng rng(37);
+  const Model model = tiny_model(rng);
+  const Tensor a = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+  const Tensor b = random_tensor(rng, 3, 12, 12, ValueDist::kHalfNormal, 1.0);
+
+  RunSpec spec;
+  spec.datapath = small_datapath(DecompositionScheme::kTemporal);
+  Session session(spec);
+  // Same model at two input geometries, interleaved: both plans stay
+  // cached, outputs stay deterministic across repeats.
+  const RunReport a1 = session.run(model, a);
+  const RunReport b1 = session.run(model, b);
+  const RunReport a2 = session.run(model, a);
+  const RunReport b2 = session.run(model, b);
+  expect_reports_identical(a2, a1);
+  expect_reports_identical(b2, b1);
+}
+
+TEST(ConvEngineStats, AccumulateAcrossCallsUntilReset) {
+  Rng rng(38);
+  const Tensor input = random_tensor(rng, 4, 6, 6, ValueDist::kNormal, 1.0);
+  const FilterBank filters =
+      random_filters(rng, 4, 4, 3, 3, ValueDist::kNormal, 0.2);
+  ConvSpec spec;
+  spec.pad = 1;
+
+  ConvEngineConfig ec;
+  ec.datapath = DatapathConfig::for_scheme(DecompositionScheme::kTemporal);
+  ec.threads = 1;
+  ConvEngine engine(ec);
+
+  engine.conv_fp16(input, filters, spec);
+  const DatapathStats once = engine.stats();
+  EXPECT_GT(once.fp_ops, 0);
+
+  // Legacy contract: counters accumulate silently across calls.
+  engine.conv_fp16(input, filters, spec);
+  DatapathStats twice_expected = once;
+  twice_expected += once;
+  EXPECT_EQ(engine.stats(), twice_expected);
+
+  // reset_stats zeroes the aggregate without touching numeric behaviour.
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats(), DatapathStats{});
+  const Tensor again = engine.conv_fp16(input, filters, spec);
+  EXPECT_EQ(engine.stats(), once);
+  (void)again;
+}
+
+}  // namespace
+}  // namespace mpipu

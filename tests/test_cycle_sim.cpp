@@ -145,43 +145,31 @@ TEST(AlignmentHistogramTest, ForwardConcentratedBackwardWide) {
   EXPECT_GT(bwd.fraction_above(8), fwd.fraction_above(8) * 3);
 }
 
-TEST(SimOptionsDeprecation, IterationsPerOpDerivesFromSchemeByDefault) {
-  // The deprecated override is folded into one derivation point.
+TEST(SimOptionsTest, IterationsPerOpDerivesFromScheme) {
+  // Since the removal of the deprecated SimOptions.iterations_per_op
+  // override, the scheme is the only derivation point for the per-op base
+  // step count.
   const SimOptions opts;
   EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kTemporal), 9);
   EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kSerial), 12);
   EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kSpatial), 1);
-  SimOptions legacy;
-  legacy.iterations_per_op = 4;
-  EXPECT_EQ(legacy.effective_iterations_per_op(DecompositionScheme::kTemporal), 4);
+  EXPECT_EQ(opts.effective_iterations_per_op(DecompositionScheme::kTemporal),
+            fp16_iterations_per_op(DecompositionScheme::kTemporal));
 }
 
-TEST(SimOptionsDeprecation, ExplicitSchemeBaseEqualsDerived) {
-  // Setting the deprecated field to the scheme's own base count must be a
-  // no-op vs leaving it at 0.
-  SimOptions derived;
-  derived.sampled_steps = 300;
-  SimOptions legacy = derived;
-  legacy.iterations_per_op = 9;  // temporal base
-  const Network net = tiny_net(forward_stats());
-  const TileConfig tile = big_tile(16, 28, 16);
-  EXPECT_EQ(simulate_network(net, tile, derived).total_cycles,
-            simulate_network(net, tile, legacy).total_cycles);
-}
-
-TEST(SimOptionsDeprecation, LegacyOverrideStillRescalesOps) {
-  // Legacy callers (e.g. 4-iteration BF16 ops) still get the rescale; the
-  // op service time is linear in the base step count, and with every
-  // service >= issue rate the totals scale exactly.
-  SimOptions base;
-  base.sampled_steps = 300;
-  SimOptions doubled = base;
-  doubled.iterations_per_op = 18;
-  const Network net = tiny_net(forward_stats());
-  const TileConfig tile = big_tile(16, 28, 16);
-  const auto r1 = simulate_network(net, tile, base);
-  const auto r2 = simulate_network(net, tile, doubled);
-  EXPECT_NEAR(r2.total_cycles / r1.total_cycles, 2.0, 1e-9);
+TEST(SimOptionsTest, SchemeDerivationMatchesServiceCycleModel) {
+  // The derived base count is exactly the unbanded service time of an op
+  // (fp16_op_service_cycles with multi_cycle off), per scheme.
+  for (auto s : {DecompositionScheme::kTemporal, DecompositionScheme::kSerial,
+                 DecompositionScheme::kSpatial}) {
+    DatapathConfig cfg = DatapathConfig::for_scheme(s);
+    cfg.multi_cycle = false;
+    cfg.skip_empty_bands = false;
+    const std::vector<int> exps{0, 1, 2, 3};
+    EXPECT_EQ(fp16_op_service_cycles(exps, cfg),
+              SimOptions{}.effective_iterations_per_op(s))
+        << scheme_name(s);
+  }
 }
 
 TEST(CycleSim, StallFractionBoundedAndBuffersHelp) {
