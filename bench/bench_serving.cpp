@@ -21,10 +21,14 @@
 // a request.  Outputs are verified bit-identical between the two paths
 // before anything is timed.
 //
-//   ./bench_serving [--smoke] [--json [path]]
+//   ./bench_serving [--smoke] [--graph] [--json [path]]
 //
 // --smoke shrinks the workload for CI; --json writes BENCH_serving.json
-// (or the given path) through the repo's single JSON emitter.
+// (or the given path) through the repo's single JSON emitter.  A graph
+// section (one ResNet-18 residual block, layer4-shaped channels at reduced
+// spatial size, served compile-once/run-many) always runs so the JSON
+// tracks graph-path throughput; --graph runs ONLY that section for quick
+// iteration on the branchy executor.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +42,7 @@
 #include "api/session.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "workload/graph_builders.h"
 
 namespace mpipu {
 namespace {
@@ -74,8 +79,10 @@ struct SectionResult {
 };
 
 /// Single-thread requests/sec: the recompile-every-run baseline vs one
-/// CompiledModel, over the same request stream.
-SectionResult run_section(const Model& model, const RunSpec& spec,
+/// CompiledModel, over the same request stream.  Templated so chain Models
+/// and GraphModels (the branchy ResNet-block section) share one harness.
+template <typename ModelT>
+SectionResult run_section(const ModelT& model, const RunSpec& spec,
                           const std::vector<Tensor>& inputs, int requests) {
   RunOptions opts;
   opts.compare_reference = false;  // serving path: no FP32 shadow chain
@@ -182,15 +189,19 @@ int main(int argc, char** argv) {
   using namespace mpipu;
 
   bool smoke = false;
+  bool graph_only = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--graph") == 0) {
+      graph_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
                                                           : "BENCH_serving.json";
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json [path]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--graph] [--json [path]]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -223,14 +234,33 @@ int main(int argc, char** argv) {
   RunSpec int8_spec = fp16_spec;
   int8_spec.policy = PrecisionPolicy::all_int(8);
 
-  const SectionResult fp16 = run_section(model, fp16_spec, inputs, requests);
-  const SectionResult int8 = run_section(model, int8_spec, inputs, requests);
+  // Graph section: one ResNet-18 residual block (basic block, identity
+  // skip) with layer4-shaped channels at reduced spatial size, served
+  // compile-once/run-many through the branchy executor.
+  const int gc = smoke ? 16 : 64;
+  const int gdim = smoke ? 6 : 8;
+  const int grequests = smoke ? 2 : 4;
+  GraphModel gblock = resnet_basic_block_graph(gc, gc, 1, "resnet18-stage");
+  gblock.materialize_weights(77);
+  std::vector<Tensor> ginputs;
+  for (int i = 0; i < 3; ++i) {
+    ginputs.push_back(
+        random_tensor(rng, gc, gdim, gdim, ValueDist::kHalfNormal, 1.0));
+  }
+  const SectionResult graph =
+      run_section(gblock, fp16_spec, ginputs, grequests);
 
-  // Concurrent serving against the FP16 plan.
-  const CompiledModel compiled = Session(fp16_spec).compile(model, {1, 1});
-  const int conc_threads = std::max(4, hw);
-  const ConcurrentResult conc =
-      run_concurrent(compiled, inputs, conc_threads, std::max(2, requests / 2));
+  SectionResult fp16, int8;
+  ConcurrentResult conc;
+  if (!graph_only) {
+    fp16 = run_section(model, fp16_spec, inputs, requests);
+    int8 = run_section(model, int8_spec, inputs, requests);
+    // Concurrent serving against the FP16 plan.
+    const CompiledModel compiled = Session(fp16_spec).compile(model, {1, 1});
+    const int conc_threads = std::max(4, hw);
+    conc = run_concurrent(compiled, inputs, conc_threads,
+                          std::max(2, requests / 2));
+  }
 
   bench::Table table({"mode", "recompile s/req", "compiled s/req",
                       "speedup", "bit-identical"});
@@ -239,20 +269,28 @@ int main(int argc, char** argv) {
                    bench::fmt(s.compiled_s_per_req, 4),
                    bench::fmt(s.speedup, 2) + "x", s.bit_identical ? "yes" : "NO"});
   };
-  add("fp16+fp32acc", fp16);
-  add("int8x8", int8);
+  if (!graph_only) {
+    add("fp16+fp32acc", fp16);
+    add("int8x8", int8);
+  }
+  add("graph fp16 (resnet18 stage)", graph);
   table.print();
 
-  std::printf("\nconcurrent serving (one CompiledModel, %d host threads, %d "
-              "requests): %.1f req/s, latency mean %.4f s, p95 %.4f s, "
-              "bit-identical vs serial: %s\n",
-              conc.threads, conc.requests, conc.requests_per_sec,
-              conc.latency_mean_s, conc.latency_p95_s,
-              conc.bit_identical ? "yes" : "NO");
+  if (!graph_only) {
+    std::printf("\nconcurrent serving (one CompiledModel, %d host threads, %d "
+                "requests): %.1f req/s, latency mean %.4f s, p95 %.4f s, "
+                "bit-identical vs serial: %s\n",
+                conc.threads, conc.requests, conc.requests_per_sec,
+                conc.latency_mean_s, conc.latency_p95_s,
+                conc.bit_identical ? "yes" : "NO");
+  }
 
-  const bool all_identical =
-      fp16.bit_identical && int8.bit_identical && conc.bit_identical;
-  const double headline = std::max(fp16.speedup, int8.speedup);
+  const bool all_identical = graph.bit_identical &&
+                             (graph_only || (fp16.bit_identical &&
+                                             int8.bit_identical &&
+                                             conc.bit_identical));
+  const double headline =
+      graph_only ? graph.speedup : std::max(fp16.speedup, int8.speedup);
   std::printf("headline: %.2fx single-thread requests/sec, weight pipeline "
               "amortized to zero\n",
               headline);
@@ -260,6 +298,7 @@ int main(int argc, char** argv) {
   Json root = Json::object();
   root.set("bench", "serving");
   root.set("smoke", smoke);
+  root.set("graph_only", graph_only);
   Json workload = Json::object();
   workload.set("model", std::to_string(c0) + "->" + std::to_string(c1) + "->" +
                             std::to_string(c1) + "->" + std::to_string(c_out) +
@@ -267,7 +306,6 @@ int main(int argc, char** argv) {
   workload.set("requests_per_path", requests);
   root.set("workload", std::move(workload));
   root.set("hardware_concurrency", hw);
-  Json sections = Json::array();
   const auto emit = [](const char* mode, const SectionResult& s) {
     Json j = Json::object();
     j.set("mode", mode);
@@ -277,17 +315,26 @@ int main(int argc, char** argv) {
     j.set("bit_identical", s.bit_identical);
     return j;
   };
-  sections.push(emit("fp16+fp32acc", fp16));
-  sections.push(emit("int8x8", int8));
-  root.set("sections", std::move(sections));
-  Json cj = Json::object();
-  cj.set("threads", conc.threads);
-  cj.set("requests", conc.requests);
-  cj.set("requests_per_sec", conc.requests_per_sec);
-  cj.set("latency_mean_s", conc.latency_mean_s);
-  cj.set("latency_p95_s", conc.latency_p95_s);
-  cj.set("bit_identical", conc.bit_identical);
-  root.set("concurrent", std::move(cj));
+  if (!graph_only) {
+    Json sections = Json::array();
+    sections.push(emit("fp16+fp32acc", fp16));
+    sections.push(emit("int8x8", int8));
+    root.set("sections", std::move(sections));
+    Json cj = Json::object();
+    cj.set("threads", conc.threads);
+    cj.set("requests", conc.requests);
+    cj.set("requests_per_sec", conc.requests_per_sec);
+    cj.set("latency_mean_s", conc.latency_mean_s);
+    cj.set("latency_p95_s", conc.latency_p95_s);
+    cj.set("bit_identical", conc.bit_identical);
+    root.set("concurrent", std::move(cj));
+  }
+  Json gj = emit("graph-fp16", graph);
+  gj.set("workload", "resnet18 residual block " + std::to_string(gc) + "ch @ " +
+                         std::to_string(gdim) + "x" + std::to_string(gdim) +
+                         ", identity skip, " + std::to_string(grequests) +
+                         " requests");
+  root.set("graph", std::move(gj));
   root.set("speedup_compiled_vs_recompile_1t", headline);
   root.set("bit_identical", all_identical);
 

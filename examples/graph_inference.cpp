@@ -1,0 +1,69 @@
+// Graph inference quickstart: build the paper's branchy shapes -- a ResNet
+// residual block and an Inception branch/concat block -- as GraphModels,
+// run them end-to-end on the bit-accurate datapath, and read the per-node
+// report.  The 30-line version of what test_graph_model pins exhaustively.
+//
+// Shows the three ways to get a graph:
+//   1. a workload builder (resnet_basic_block_graph) + materialize_weights;
+//   2. the GraphModel::Builder with your own weights;
+//   3. the full resnet18_graph() trunk, here only cycle-estimated (run it
+//      too if you have the patience -- same API).
+#include <cstdio>
+
+#include "api/session.h"
+#include "workload/graph_builders.h"
+
+using namespace mpipu;
+
+int main() {
+  RunSpec spec;
+  spec.datapath = DatapathConfig::for_scheme(DecompositionScheme::kTemporal);
+  spec.datapath.adder_tree_width = 16;
+  // Quantize interior convs to INT8, keep the first/last (sensitive) convs
+  // in FP16 -- joins carry no precision, the policy sees conv nodes only.
+  spec.policy = PrecisionPolicy::int8_except_first_last();
+  spec.threads = 2;
+  Session session(spec);
+
+  // 1. A stride-2 projection residual block, weights drawn from the
+  //    paper's forward-pass distributions.
+  GraphModel block = resnet_basic_block_graph(8, 16, 2);
+  block.materialize_weights(/*seed=*/42);
+
+  Rng rng(7);
+  const Tensor input = random_tensor(rng, 8, 14, 14, ValueDist::kHalfNormal, 1.0);
+  const RunReport report = session.run(block, input);
+
+  std::printf("%s on %s: %zu nodes, output %dx%dx%d, SNR %.1f dB\n",
+              report.model.c_str(), report.scheme.c_str(),
+              report.layers.size(), report.output.c, report.output.h,
+              report.output.w, report.end_to_end.snr_db);
+  for (const LayerRunReport& l : report.layers) {
+    std::printf("  %-14s %-13s cycles=%-8lld max_err=%.2e\n", l.layer.c_str(),
+                l.precision.c_str(),
+                static_cast<long long>(l.stats.cycles), l.error.max_abs_err);
+  }
+
+  // 2. Hand-built diamond with the Builder: conv -> {3x3, 1x1} -> concat.
+  GraphModel::Builder b("diamond");
+  const int in = b.input();
+  ConvSpec pad1;
+  pad1.pad = 1;
+  const int stem = b.conv_shape("stem", 8, 8, 3, 3, pad1, in, /*relu=*/true);
+  const int left = b.conv_shape("left", 8, 8, 3, 3, pad1, stem, /*relu=*/true);
+  const int right = b.conv_shape("right", 8, 8, 1, 1, ConvSpec{}, stem);
+  b.add("join", left, right, /*relu=*/true);
+  GraphModel diamond = b.build();
+  diamond.materialize_weights(43);
+  const RunReport drep = session.run(diamond, input);
+  std::printf("\n%s: residual add joins %d-channel branches, SNR %.1f dB\n",
+              drep.model.c_str(), drep.output.c, drep.end_to_end.snr_db);
+
+  // 3. The full ResNet-18 trunk as a graph: estimate-only here (weights
+  //    optional), on the same spec that ran the blocks above.
+  const NetworkSimResult est = session.estimate(resnet18_graph(), 224, 224);
+  std::printf("\nresnet18-graph @224x224: %zu conv rows, %.3g simulated "
+              "cycles end-to-end\n",
+              est.layers.size(), est.total_cycles);
+  return 0;
+}

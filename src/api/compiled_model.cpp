@@ -3,6 +3,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "nn/elementwise.h"
+
 namespace mpipu {
 
 namespace {
@@ -36,6 +38,16 @@ class Fnv1a {
   uint64_t h_ = 1469598103934665603ull;
 };
 
+void check_compile_dims(const CompileOptions& opts) {
+  if (opts.input_h <= 0 || opts.input_w <= 0) {
+    throw std::invalid_argument(
+        "CompiledModel::compile: CompileOptions must carry the input spatial "
+        "dims (got " + std::to_string(opts.input_h) + "x" +
+        std::to_string(opts.input_w) +
+        ") -- the packed gather offsets depend on them");
+  }
+}
+
 }  // namespace
 
 uint64_t model_fingerprint(const Model& model) {
@@ -58,11 +70,12 @@ uint64_t model_fingerprint(const Model& model) {
 }
 
 bool CompiledModel::matches(const Model& model) const {
+  if (is_graph_) return false;
   if (model.name() != name_) return false;
   const std::vector<ModelLayer>& theirs = model.layers();
-  if (theirs.size() != layers_.size()) return false;
-  for (size_t i = 0; i < layers_.size(); ++i) {
-    const ModelLayer& a = layers_[i];
+  if (theirs.size() + 1 != nodes_.size()) return false;
+  for (size_t i = 0; i < theirs.size(); ++i) {
+    const GraphNode& a = nodes_[i + 1];  // chain layout: node 0 is the input
     const ModelLayer& b = theirs[i];
     if (a.name != b.name || a.spec.stride != b.spec.stride ||
         a.spec.pad != b.spec.pad || a.relu != b.relu || a.pool != b.pool ||
@@ -83,6 +96,16 @@ bool CompiledModel::matches(const Model& model) const {
   return wrapped == nullptr || *wrapped == shape_net_;
 }
 
+bool CompiledModel::matches(const GraphModel& model) const {
+  if (!is_graph_) return false;
+  if (model.name() != name_) return false;
+  if (!model.has_weights()) return false;  // compiled graphs carry weights
+  // Tensor statistics feed the shape table estimate() consumes: two graphs
+  // with identical nodes but different stats must not share a plan.
+  if (!(model.tensor_stats() == graph_stats_)) return false;
+  return model.nodes() == nodes_;
+}
+
 TileConfig composed_tile_for(const RunSpec& spec, const TileConfig& geometry) {
   TileConfig t = geometry;
   t.datapath = spec.datapath;
@@ -96,47 +119,41 @@ TileConfig composed_tile_for(const RunSpec& spec, const TileConfig& geometry) {
   return t;
 }
 
-CompiledModel CompiledModel::compile(const Model& model, const RunSpec& spec,
-                                     const CompileOptions& opts) {
-  if (opts.input_h <= 0 || opts.input_w <= 0) {
-    throw std::invalid_argument(
-        "CompiledModel::compile: CompileOptions must carry the input spatial "
-        "dims (got " + std::to_string(opts.input_h) + "x" +
-        std::to_string(opts.input_w) +
-        ") -- the packed gather offsets depend on them");
-  }
-  if (!model.has_weights()) {
-    throw std::invalid_argument(
-        "CompiledModel::compile: model '" + model.name() +
-        "' carries no weights -- shape-table models are estimate-only; build "
-        "with Model::from_layers or call materialize_weights()");
-  }
-  const std::vector<ModelLayer>& layers = model.layers();
-
+CompiledModel CompiledModel::compile_nodes(std::vector<GraphNode> nodes,
+                                           const RunSpec& spec,
+                                           const CompileOptions& opts) {
   CompiledModel cm;
   cm.spec_ = spec;
-  cm.name_ = model.name();
-  cm.layers_ = layers;
-  cm.in_c_ = layers.front().filters.cin;
+  cm.nodes_ = std::move(nodes);
+  // Full topology validation -- acyclicity, single input/output, channel
+  // agreement into convs, shape agreement at joins, collapsing geometry --
+  // plus the deterministic execution order and wave structure.
+  cm.topo_ = analyze_graph(cm.nodes_, opts.input_h, opts.input_w);
+  cm.in_c_ = cm.topo_.input_c;
   cm.in_h_ = opts.input_h;
   cm.in_w_ = opts.input_w;
-  cm.shape_net_ = model.shape_table(opts.input_h, opts.input_w);
-  cm.table_backed_ = model.is_shape_table_backed();
-  cm.fingerprint_ = model_fingerprint(model);
   cm.ref_cache_ = std::make_shared<RefCache>();
 
+  size_t n_convs = 0;
+  for (const GraphNode& nd : cm.nodes_) {
+    if (nd.op == GraphNode::Op::kConv) ++n_convs;
+  }
+
   // Resolve and validate the whole policy up front: an unsupported INT
-  // layer must be rejected at compile time, before anything executes.
+  // layer must be rejected at compile time, before anything is baked.
   std::unique_ptr<Datapath> probe;
-  cm.precisions_.resize(layers.size());
-  for (size_t i = 0; i < layers.size(); ++i) {
-    cm.precisions_[i] = spec.policy.resolve(i, layers.size(), layers[i].name);
-    const LayerPrecision& p = cm.precisions_[i];
+  cm.precisions_.reserve(n_convs);
+  for (int id : cm.topo_.order) {
+    const GraphNode& nd = cm.nodes_[static_cast<size_t>(id)];
+    if (nd.op != GraphNode::Op::kConv) continue;
+    const LayerPrecision p =
+        spec.policy.resolve(cm.precisions_.size(), n_convs, nd.name);
+    cm.precisions_.push_back(p);
     if (p.kind != LayerPrecision::Kind::kInt) continue;
     if (!probe) probe = make_datapath(spec.datapath);
     if (!probe->supports_int(p.a_bits, p.w_bits)) {
       throw std::invalid_argument(
-          "CompiledModel::compile: layer '" + layers[i].name + "' requests " +
+          "CompiledModel::compile: layer '" + nd.name + "' requests " +
           p.to_string() + " but the " + scheme_name(spec.datapath.scheme) +
           " scheme does not support it" +
           (spec.datapath.scheme == DecompositionScheme::kSpatial
@@ -146,44 +163,93 @@ CompiledModel CompiledModel::compile(const Model& model, const RunSpec& spec,
     }
   }
 
-  // Bake every layer: walk the activation geometry through the chain and
-  // pack the filter planes for each layer's resolved mode.
-  int c = cm.in_c_, h = opts.input_h, w = opts.input_w;
-  for (size_t i = 0; i < layers.size(); ++i) {
-    const ModelLayer& l = layers[i];
-    const LayerPrecision& p = cm.precisions_[i];
-    const int ho = l.spec.out_dim(h, l.filters.kh);
-    const int wo = l.spec.out_dim(w, l.filters.kw);
-    if (ho <= 0 || wo <= 0) {
-      throw std::invalid_argument(
-          "CompiledModel::compile: layer '" + l.name + "' maps " +
-          std::to_string(h) + "x" + std::to_string(w) + " activations to " +
-          std::to_string(ho) + "x" + std::to_string(wo) +
-          " -- the chain collapses at these input dims");
-    }
-    CompiledLayer cl;
+  // Bake every conv node: the plan sees the node's input geometry (its
+  // predecessor's post-post-op shape) and packs the filter planes for the
+  // resolved mode.
+  cm.compiled_.resize(cm.nodes_.size());
+  size_t conv_index = 0;
+  for (int id : cm.topo_.order) {
+    const GraphNode& nd = cm.nodes_[static_cast<size_t>(id)];
+    if (nd.op != GraphNode::Op::kConv) continue;
+    const LayerPrecision& p = cm.precisions_[conv_index++];
+    const int pred = nd.inputs[0];
+    const int c = cm.topo_.out_c[static_cast<size_t>(pred)];
+    const int h = cm.topo_.out_h[static_cast<size_t>(pred)];
+    const int w = cm.topo_.out_w[static_cast<size_t>(pred)];
+    CompiledNode& cl = cm.compiled_[static_cast<size_t>(id)];
     cl.precision = p;
     cl.precision_label = p.to_string();
     if (p.kind == LayerPrecision::Kind::kFp16) {
-      const PreparedFp16 flt_planes = prepare_fp16_planes(l.filters.data);
-      cl.fp16_plan.build(c, h, w, l.filters, l.spec, flt_planes);
+      const PreparedFp16 flt_planes = prepare_fp16_planes(nd.filters.data);
+      cl.fp16_plan.build(c, h, w, nd.filters, nd.spec, flt_planes);
     } else {
-      cl.qw = fit_symmetric(l.filters.data, p.w_bits);
+      cl.qw = fit_symmetric(nd.filters.data, p.w_bits);
       cl.int_digits = spec.datapath.scheme != DecompositionScheme::kSerial;
       const PreparedInt flt_planes =
-          prepare_int_planes(l.filters.data, cl.qw, cl.int_digits);
-      cl.int_plan.build(c, h, w, l.filters, l.spec, flt_planes);
+          prepare_int_planes(nd.filters.data, cl.qw, cl.int_digits);
+      cl.int_plan.build(c, h, w, nd.filters, nd.spec, flt_planes);
     }
-    cm.compiled_.push_back(std::move(cl));
-    h = ho;
-    w = wo;
-    switch (l.pool) {
-      case PoolOp::kNone: break;
-      case PoolOp::kMax2: h /= 2; w /= 2; break;
-      case PoolOp::kGlobalAvg: h = 1; w = 1; break;
-    }
-    c = l.filters.cout;
   }
+  return cm;
+}
+
+CompiledModel CompiledModel::compile(const Model& model, const RunSpec& spec,
+                                     const CompileOptions& opts) {
+  check_compile_dims(opts);
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "CompiledModel::compile: model '" + model.name() +
+        "' carries no weights -- shape-table models are estimate-only; build "
+        "with Model::from_layers or call materialize_weights()");
+  }
+
+  // A chain is the degenerate graph: one input node, every layer a conv
+  // node consuming the previous one.  The execution core only knows graphs.
+  std::vector<GraphNode> nodes;
+  nodes.reserve(model.layers().size() + 1);
+  GraphNode in;
+  in.op = GraphNode::Op::kInput;
+  in.name = "input";
+  nodes.push_back(std::move(in));
+  for (size_t i = 0; i < model.layers().size(); ++i) {
+    const ModelLayer& l = model.layers()[i];
+    GraphNode nd;
+    nd.op = GraphNode::Op::kConv;
+    nd.name = l.name;
+    nd.inputs = {static_cast<int>(i)};
+    nd.filters = l.filters;
+    nd.spec = l.spec;
+    nd.relu = l.relu;
+    nd.pool = l.pool;
+    nodes.push_back(std::move(nd));
+  }
+
+  CompiledModel cm = compile_nodes(std::move(nodes), spec, opts);
+  cm.is_graph_ = false;
+  cm.name_ = model.name();
+  cm.shape_net_ = model.shape_table(opts.input_h, opts.input_w);
+  cm.table_backed_ = model.is_shape_table_backed();
+  cm.fingerprint_ = model_fingerprint(model);
+  return cm;
+}
+
+CompiledModel CompiledModel::compile(const GraphModel& model,
+                                     const RunSpec& spec,
+                                     const CompileOptions& opts) {
+  check_compile_dims(opts);
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "CompiledModel::compile: graph '" + model.name() +
+        "' carries no weights -- shape-only graphs are estimate-only; call "
+        "materialize_weights() first");
+  }
+  CompiledModel cm = compile_nodes(model.nodes(), spec, opts);
+  cm.is_graph_ = true;
+  cm.name_ = model.name();
+  cm.graph_stats_ = model.tensor_stats();
+  cm.shape_net_ = model.shape_table(opts.input_h, opts.input_w);
+  cm.table_backed_ = false;
+  cm.fingerprint_ = graph_fingerprint(model);
   return cm;
 }
 
@@ -208,13 +274,8 @@ std::shared_ptr<const std::vector<Tensor>> CompiledModel::reference_chain(
   }
   // Compute outside the lock: concurrent callers with distinct inputs must
   // not serialize on the (expensive) reference convolutions.
-  auto refs = std::make_shared<std::vector<Tensor>>();
-  refs->reserve(layers_.size());
-  Tensor ref = input;
-  for (const ModelLayer& l : layers_) {
-    ref = reference_layer(ref, l);
-    refs->push_back(ref);
-  }
+  auto refs = std::make_shared<std::vector<Tensor>>(
+      graph_reference_outputs(nodes_, topo_, input));
   std::lock_guard<std::mutex> lock(ref_cache_->mu);
   for (const auto& e : ref_cache_->entries) {
     // A racing caller beat us to it; both chains are deterministic and
@@ -228,40 +289,16 @@ std::shared_ptr<const std::vector<Tensor>> CompiledModel::reference_chain(
   return refs;
 }
 
-RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
-                             ThreadPool& pool) const {
-  validate_input(input);
-
-  RunReport report;
-  report.model = name_;
-  report.scheme = scheme_name(spec_.datapath.scheme);
-  report.threads = pool.size();
-
-  // Per-call scratch: one private datapath per worker slot.  Fresh units
-  // mean per-call stats; the plans themselves are only read.
-  std::vector<std::unique_ptr<Datapath>> units;
-  units.reserve(static_cast<size_t>(pool.size()));
-  for (int slot = 0; slot < pool.size(); ++slot) {
-    units.push_back(make_datapath(spec_.datapath));
-  }
-  const auto units_stats = [&units] {
-    DatapathStats total;
-    for (const auto& u : units) total += u->stats();
-    return total;
-  };
-
-  std::shared_ptr<const std::vector<Tensor>> refs;
-  if (opts.compare_reference) refs = reference_chain(input);
-
-  Tensor x = input;
-  for (size_t i = 0; i < compiled_.size(); ++i) {
-    const CompiledLayer& cl = compiled_[i];
-    LayerRunReport lr;
-    lr.layer = layers_[i].name;
-    lr.precision = cl.precision_label;
-
-    const DatapathStats before = units_stats();
-    Tensor y;
+void CompiledModel::exec_node(
+    int id, std::vector<Tensor>& acts, std::vector<DatapathStats>& stats,
+    ThreadPool& pool, std::span<const std::unique_ptr<Datapath>> units) const {
+  const GraphNode& nd = nodes_[static_cast<size_t>(id)];
+  Tensor y;
+  if (nd.op == GraphNode::Op::kConv) {
+    const CompiledNode& cl = compiled_[static_cast<size_t>(id)];
+    const Tensor& x = acts[static_cast<size_t>(nd.inputs[0])];
+    DatapathStats before;
+    for (const auto& u : units) before += u->stats();
     if (cl.precision.kind == LayerPrecision::Kind::kFp16) {
       const PreparedFp16 in_planes = prepare_fp16_planes(x.data);
       y = execute_fp16_plan(cl.fp16_plan, in_planes, pool, units,
@@ -276,18 +313,89 @@ RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
                            spec_.datapath.n_inputs, cl.precision.a_bits,
                            cl.precision.w_bits, qa, cl.qw);
     }
-    lr.stats = units_stats() - before;
+    DatapathStats after;
+    for (const auto& u : units) after += u->stats();
+    stats[static_cast<size_t>(id)] = after - before;
+  } else {
+    // Joins are exact elementwise ops: no datapath work, no stats.
+    std::vector<const Tensor*> parts;
+    parts.reserve(nd.inputs.size());
+    for (int p : nd.inputs) parts.push_back(&acts[static_cast<size_t>(p)]);
+    y = nd.op == GraphNode::Op::kAdd ? tensor_add(parts)
+                                     : channel_concat(parts);
+  }
+  acts[static_cast<size_t>(id)] = apply_post_ops(std::move(y), nd.relu, nd.pool);
+}
 
-    x = apply_post_ops(std::move(y), layers_[i]);
-    if (refs) lr.error = compare_outputs(x, (*refs)[i]);
+RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
+                             ThreadPool& pool) const {
+  validate_input(input);
+
+  RunReport report;
+  report.model = name_;
+  report.scheme = scheme_name(spec_.datapath.scheme);
+  report.threads = pool.size();
+
+  // Per-call scratch: one private datapath per worker slot for single-node
+  // waves (pixel-level parallelism).  Fresh units mean per-call stats; the
+  // plans themselves are only read.
+  std::vector<std::unique_ptr<Datapath>> units;
+  units.reserve(static_cast<size_t>(pool.size()));
+  for (int slot = 0; slot < pool.size(); ++slot) {
+    units.push_back(make_datapath(spec_.datapath));
+  }
+
+  std::shared_ptr<const std::vector<Tensor>> refs;
+  if (opts.compare_reference) refs = reference_chain(input);
+
+  std::vector<Tensor> acts(nodes_.size());
+  acts[static_cast<size_t>(topo_.input_node)] = input;
+  std::vector<DatapathStats> node_stats(nodes_.size());
+
+  for (const std::vector<int>& wave : topo_.waves) {
+    if (wave.size() == 1) {
+      // The chain fast path: one node gets the whole pool, parallel over
+      // output pixels -- bit-identical to the pre-graph executor.
+      exec_node(wave[0], acts, node_stats, pool, units);
+      continue;
+    }
+    // Independent branches: one node per worker, each with a private
+    // inline (threadless) pool and its own fresh datapath so per-node
+    // stats stay deterministic for any pool size.
+    pool.parallel_for(
+        static_cast<int64_t>(wave.size()),
+        [&](int64_t begin, int64_t end, int) {
+          for (int64_t i = begin; i < end; ++i) {
+            const int id = wave[static_cast<size_t>(i)];
+            ThreadPool inline_pool(1);
+            std::vector<std::unique_ptr<Datapath>> unit;
+            if (nodes_[static_cast<size_t>(id)].op == GraphNode::Op::kConv) {
+              unit.push_back(make_datapath(spec_.datapath));
+            }
+            exec_node(id, acts, node_stats, inline_pool, unit);
+          }
+        });
+  }
+
+  for (int id : topo_.order) {
+    if (id == topo_.input_node) continue;
+    const GraphNode& nd = nodes_[static_cast<size_t>(id)];
+    LayerRunReport lr;
+    lr.layer = nd.name;
+    lr.precision = nd.op == GraphNode::Op::kConv
+                       ? compiled_[static_cast<size_t>(id)].precision_label
+                       : graph_op_name(nd.op);
+    lr.stats = node_stats[static_cast<size_t>(id)];
+    if (refs) lr.error = compare_outputs(acts[static_cast<size_t>(id)],
+                                         (*refs)[static_cast<size_t>(id)]);
     report.totals += lr.stats;
     report.layers.push_back(std::move(lr));
   }
 
-  report.output = std::move(x);
+  report.output = std::move(acts[static_cast<size_t>(topo_.output_node)]);
   if (refs) {
     report.end_to_end = report.layers.back().error;
-    report.reference_output = refs->back();
+    report.reference_output = (*refs)[static_cast<size_t>(topo_.output_node)];
   }
   if (opts.with_estimate) report.estimate = estimate();
   return report;

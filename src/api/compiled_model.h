@@ -7,14 +7,26 @@
 // packing -- on every call.  `Session::compile` (or the static
 // CompiledModel::compile) moves all of it to a single compile phase:
 //
-//   * the PrecisionPolicy is resolved per layer ONCE; a CompiledModel never
-//     re-resolves it (mutating the policy object you compiled from has no
-//     effect on an existing CompiledModel -- recompile to change precision);
-//   * every layer is baked into an immutable CompiledLayer holding the
-//     prepared + packed filter planes (nn/conv_plan.h) for its resolved
+//   * the PrecisionPolicy is resolved per conv node ONCE; a CompiledModel
+//     never re-resolves it (mutating the policy object you compiled from
+//     has no effect on an existing CompiledModel -- recompile to change
+//     precision);
+//   * every conv node is baked into an immutable plan holding the prepared
+//     + packed filter planes (nn/conv_plan.h) for its resolved
 //     (datapath, accum / INT) mode;
 //   * all validation (weightless model, INT on an FP-only scheme, empty
-//     output geometry) happens at compile time, before anything executes.
+//     output geometry, graph topology) happens at compile time, before
+//     anything executes.
+//
+// Since the graph extension (api/graph_model.h) the execution core is a
+// DAG: a chain Model compiles into the degenerate one-node-per-wave graph,
+// a GraphModel into its topological wave structure.  Waves holding several
+// independent nodes (parallel ResNet/Inception branches) are dispatched
+// concurrently over the caller's pool, one node per worker with a private
+// single-threaded scratch; single-node waves keep the chain path's
+// pixel-level parallelism.  Either way outputs AND per-node stats are
+// bit-identical for 1 and N pool threads (stats are sums over a fixed op
+// partition; every pixel is computed exactly once).
 //
 // run()/run_batch() are REENTRANT: every call builds its own scratch
 // (thread pool, per-slot datapaths, staged activation planes, stats) and
@@ -36,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/graph_model.h"
 #include "api/model.h"
 #include "api/run_report.h"
 #include "api/run_spec.h"
@@ -61,6 +74,12 @@ class CompiledModel {
   static CompiledModel compile(const Model& model, const RunSpec& spec,
                                const CompileOptions& opts);
 
+  /// Graph counterpart: additionally validates the full topology
+  /// (acyclicity, single input/output, join shape agreement) via
+  /// analyze_graph before anything is baked.
+  static CompiledModel compile(const GraphModel& model, const RunSpec& spec,
+                               const CompileOptions& opts);
+
   /// One forward pass against the immutable plan.  Thread-safe: every call
   /// owns its scratch (a private pool of spec().threads workers -- created
   /// per call, so prefer spec.threads == 1 for concurrent serving) and its
@@ -83,6 +102,8 @@ class CompiledModel {
 
   /// Cycle-sim estimate of the compiled shape table on spec().tile with
   /// spec().datapath plugged in (what RunOptions.with_estimate attaches).
+  /// For graph models the table is the graph's conv rows in execution
+  /// order (GraphModel::shape_table).
   NetworkSimResult estimate() const;
 
   const std::string& model_name() const { return name_; }
@@ -90,28 +111,36 @@ class CompiledModel {
   int input_c() const { return in_c_; }
   int input_h() const { return in_h_; }
   int input_w() const { return in_w_; }
-  size_t layer_count() const { return layers_.size(); }
-  /// The compile-time-resolved precision of each layer (frozen: no API
-  /// re-resolves these after compile).
+  /// Executable nodes: conv layers plus (for graphs) add/concat joins.
+  size_t layer_count() const { return topo_.order.size() - 1; }
+  /// True when compiled from a GraphModel (matches(Model) is then always
+  /// false, and vice versa).
+  bool is_graph() const { return is_graph_; }
+  /// The compile-time-resolved precision of each conv node in execution
+  /// order (frozen: no API re-resolves these after compile).
   const std::vector<LayerPrecision>& layer_precisions() const {
     return precisions_;
   }
   /// Content fingerprint of the model this plan was compiled from
-  /// (model_fingerprint of name, specs, post-ops and weight bytes).
+  /// (model_fingerprint / graph_fingerprint of name, topology, specs,
+  /// post-ops and weight bytes).
   uint64_t fingerprint() const { return fingerprint_; }
   /// Exact equality of `model` with the compiled weights/specs AND shape
   /// table (what estimate() consumes) -- the sole lookup predicate of
   /// Session's compile-on-first-use cache.  Field checks (name, dims,
   /// specs) reject mismatches before any weight bytes are compared.
   bool matches(const Model& model) const;
+  /// Same for graphs: exact node-list + tensor-statistics equality.
+  bool matches(const GraphModel& model) const;
 
  private:
   CompiledModel() = default;
 
-  /// One layer's immutable execution state: the resolved precision plus the
-  /// plan (packed filter streams) for its mode.  Exactly one of the two
-  /// plans is populated, selected by precision.kind.
-  struct CompiledLayer {
+  /// One conv node's immutable execution state: the resolved precision plus
+  /// the plan (packed filter streams) for its mode.  Exactly one of the two
+  /// plans is populated, selected by precision.kind.  Join nodes carry no
+  /// plan (joins are exact elementwise ops).
+  struct CompiledNode {
     LayerPrecision precision;
     std::string precision_label;
     ConvPlan<PreparedFp16> fp16_plan;
@@ -120,9 +149,9 @@ class CompiledModel {
     bool int_digits = true;  ///< INT mode: pack radix-16 digit planes?
   };
 
-  /// Per-input FP32 reference chain cache (one entry = the per-layer
-  /// post-op reference outputs of one exact input).  Behind a shared_ptr so
-  /// the CompiledModel stays movable; guarded by its own mutex so run() is
+  /// Per-input FP32 reference chain cache (one entry = the per-node
+  /// reference outputs of one exact input).  Behind a shared_ptr so the
+  /// CompiledModel stays movable; guarded by its own mutex so run() is
   /// reentrant.
   struct RefCache {
     std::mutex mu;
@@ -131,16 +160,31 @@ class CompiledModel {
         entries;
   };
 
+  static CompiledModel compile_nodes(std::vector<GraphNode> nodes,
+                                     const RunSpec& spec,
+                                     const CompileOptions& opts);
   void validate_input(const Tensor& input) const;
   std::shared_ptr<const std::vector<Tensor>> reference_chain(
       const Tensor& input) const;
+  /// Execute one non-input node: reads predecessor activations, writes
+  /// acts[id] (post-ops applied) and stats[id].  `pool`/`units` are the
+  /// caller's scratch for this node (the full per-call pool for single-node
+  /// waves, a private inline unit for parallel-branch dispatch).
+  void exec_node(int id, std::vector<Tensor>& acts,
+                 std::vector<DatapathStats>& stats, ThreadPool& pool,
+                 std::span<const std::unique_ptr<Datapath>> units) const;
 
   RunSpec spec_;
   std::string name_;
   int in_c_ = 0, in_h_ = 0, in_w_ = 0;
-  std::vector<ModelLayer> layers_;  ///< weights kept for the reference chain
-  std::vector<LayerPrecision> precisions_;
-  std::vector<CompiledLayer> compiled_;
+  bool is_graph_ = false;
+  /// Source nodes (weights kept for the reference chain and matches());
+  /// chain models are stored as their degenerate graph.
+  std::vector<GraphNode> nodes_;
+  GraphTopology topo_;
+  std::vector<LayerPrecision> precisions_;  ///< conv nodes, execution order
+  std::vector<CompiledNode> compiled_;      ///< indexed by node id
+  LayerTensorStats graph_stats_;  ///< graph source: stats baked into shape_net_
   Network shape_net_;  ///< shape table at the compiled input dims
   bool table_backed_ = false;  ///< source model was from_network
   uint64_t fingerprint_ = 0;

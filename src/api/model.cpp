@@ -20,14 +20,18 @@ Tensor global_avg_pool(const Tensor& t) {
 
 }  // namespace
 
-Tensor apply_post_ops(Tensor t, const ModelLayer& l) {
-  if (l.relu) t = relu(t);
-  switch (l.pool) {
+Tensor apply_post_ops(Tensor t, bool relu_first, PoolOp pool) {
+  if (relu_first) t = relu(t);
+  switch (pool) {
     case PoolOp::kNone: break;
     case PoolOp::kMax2: t = maxpool2(t); break;
     case PoolOp::kGlobalAvg: t = global_avg_pool(t); break;
   }
   return t;
+}
+
+Tensor apply_post_ops(Tensor t, const ModelLayer& l) {
+  return apply_post_ops(std::move(t), l.relu, l.pool);
 }
 
 Tensor reference_layer(const Tensor& input, const ModelLayer& l) {

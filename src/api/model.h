@@ -63,7 +63,10 @@ class Model {
   /// table, drawn from the network's weight distribution.  Requires the
   /// table to be a sequentially consistent chain (each row's cin equals the
   /// previous row's cout and repeat == 1); throws std::invalid_argument
-  /// otherwise (e.g. for branchy tables like resnet18_forward()).
+  /// otherwise.  Branchy topologies (resnet18_forward()-style residual /
+  /// concat structure) are no longer out of reach -- build them as a
+  /// GraphModel (api/graph_model.h, e.g. workload/graph_builders.h) and
+  /// call GraphModel::materialize_weights instead.
   void materialize_weights(uint64_t seed);
 
   /// Shape table for the cycle-sim path: the wrapped Network for
@@ -77,9 +80,10 @@ class Model {
   std::optional<Network> shape_net_;
 };
 
-/// Post-ops of one layer applied to its conv output: ReLU first, then
-/// pooling.  The single definition every forward path shares (Session,
-/// CompiledModel, the reference chain).
+/// Post-ops applied to a node's output: ReLU first, then pooling.  The
+/// single definition every forward path shares (Session, CompiledModel,
+/// graph nodes, the reference chain).
+Tensor apply_post_ops(Tensor t, bool relu, PoolOp pool);
 Tensor apply_post_ops(Tensor t, const ModelLayer& l);
 
 /// One step of the exact FP32 reference chain: host-double convolution of

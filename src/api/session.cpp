@@ -21,7 +21,13 @@ CompiledModel Session::compile(const Model& model,
   return CompiledModel::compile(model, spec_, opts);
 }
 
-const CompiledModel& Session::compiled_for(const Model& model, int input_h,
+CompiledModel Session::compile(const GraphModel& model,
+                               const CompileOptions& opts) const {
+  return CompiledModel::compile(model, spec_, opts);
+}
+
+template <typename ModelT>
+const CompiledModel& Session::compiled_for(const ModelT& model, int input_h,
                                            int input_w) {
   // Exact-match lookup via matches(): its field comparisons (name, layer
   // shapes, specs) reject non-matching entries before any weight bytes are
@@ -72,6 +78,17 @@ RunReport Session::run(const Model& model, const Tensor& input,
   return compiled_for(model, input.h, input.w).run(input, opts, pool_);
 }
 
+RunReport Session::run(const GraphModel& model, const Tensor& input,
+                       const RunOptions& opts) {
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "Session::run: graph '" + model.name() +
+        "' carries no weights -- shape-only graphs are estimate-only; call "
+        "materialize_weights() first");
+  }
+  return compiled_for(model, input.h, input.w).run(input, opts, pool_);
+}
+
 Tensor Session::reference(const Model& model, const Tensor& input) {
   if (!model.has_weights()) {
     throw std::invalid_argument(
@@ -82,9 +99,10 @@ Tensor Session::reference(const Model& model, const Tensor& input) {
   return ref;
 }
 
-BatchRunReport Session::run_batch(const Model& model,
-                                  const std::vector<Tensor>& inputs,
-                                  const RunOptions& opts) {
+template <typename ModelT>
+BatchRunReport Session::run_batch_impl(const ModelT& model,
+                                       const std::vector<Tensor>& inputs,
+                                       const RunOptions& opts) {
   // The estimate depends only on (model, input dims, spec): compute it once
   // per distinct input shape instead of once per input.
   RunOptions per_run = opts;
@@ -113,6 +131,34 @@ BatchRunReport Session::run_batch(const Model& model,
     batch.totals += batch.runs.back().totals;
   }
   return batch;
+}
+
+Tensor Session::reference(const GraphModel& model, const Tensor& input) {
+  if (!model.has_weights()) {
+    throw std::invalid_argument(
+        "Session::reference: graph '" + model.name() + "' carries no weights");
+  }
+  const GraphTopology topo = analyze_graph(model.nodes(), input.h, input.w);
+  std::vector<Tensor> refs =
+      graph_reference_outputs(model.nodes(), topo, input);
+  return std::move(refs[static_cast<size_t>(topo.output_node)]);
+}
+
+BatchRunReport Session::run_batch(const Model& model,
+                                  const std::vector<Tensor>& inputs,
+                                  const RunOptions& opts) {
+  return run_batch_impl(model, inputs, opts);
+}
+
+BatchRunReport Session::run_batch(const GraphModel& model,
+                                  const std::vector<Tensor>& inputs,
+                                  const RunOptions& opts) {
+  return run_batch_impl(model, inputs, opts);
+}
+
+NetworkSimResult Session::estimate(const GraphModel& model, int input_h,
+                                   int input_w) const {
+  return estimate(model.shape_table(input_h, input_w));
 }
 
 NetworkSimResult Session::estimate(const Network& net) const {

@@ -50,6 +50,13 @@ class Session {
   /// safe for concurrent callers.  Throws std::invalid_argument on a
   /// weightless model, an unsupported INT layer, or missing input dims.
   CompiledModel compile(const Model& model, const CompileOptions& opts) const;
+  /// Graph counterpart (api/graph_model.h): additionally validates the DAG
+  /// topology -- acyclicity, single input/output, channel agreement into
+  /// convs, shape agreement at add/concat joins -- before anything is
+  /// baked.  Independent branches of the compiled graph execute in
+  /// parallel over the running pool.
+  CompiledModel compile(const GraphModel& model,
+                        const CompileOptions& opts) const;
 
   /// Full forward pass of `model` on `input`.  Compile-on-first-use: the
   /// first call (per model content and input geometry) compiles, later
@@ -59,6 +66,11 @@ class Session {
   /// not support it (e.g. the FP-only spatial scheme).
   RunReport run(const Model& model, const Tensor& input,
                 const RunOptions& opts = {});
+  /// Full forward pass of a DAG-structured model (ResNet skip connections,
+  /// Inception branch/concat blocks) -- same compile-on-first-use caching,
+  /// same per-node RunReport, byte-identical to CompiledModel::run.
+  RunReport run(const GraphModel& model, const Tensor& input,
+                const RunOptions& opts = {});
 
   /// The exact FP32 reference forward pass of the numeric path (host-double
   /// conv chain + the model's post-ops) -- what run() compares against when
@@ -66,10 +78,17 @@ class Session {
   /// datapath configs over the same inputs can compute it once instead of
   /// once per sweep point.
   static Tensor reference(const Model& model, const Tensor& input);
+  /// Graph reference: the exact FP32 chain mirrored over the DAG
+  /// (host-double convs, exact joins) -- graph_reference_outputs' final
+  /// node.
+  static Tensor reference(const GraphModel& model, const Tensor& input);
 
   /// Forward passes over a batch of inputs with deterministic stats
   /// reduction (totals are sums of per-run sums).
   BatchRunReport run_batch(const Model& model,
+                           const std::vector<Tensor>& inputs,
+                           const RunOptions& opts = {});
+  BatchRunReport run_batch(const GraphModel& model,
                            const std::vector<Tensor>& inputs,
                            const RunOptions& opts = {});
 
@@ -83,13 +102,27 @@ class Session {
                             int input_h = 0, int input_w = 0) const;
   /// Lowest-level overload: estimate an explicit shape table.
   NetworkSimResult estimate(const Network& net) const;
+  /// Graph estimate: the graph's conv rows (GraphModel::shape_table) on the
+  /// cycle simulator -- agrees with estimate(net) for the equivalent table
+  /// by construction.  Graphs always need the input dims.
+  NetworkSimResult estimate(const GraphModel& model, int input_h,
+                            int input_w) const;
 
  private:
   /// The compile-on-first-use cache behind run(): exact-match lookup
   /// (CompiledModel::matches -- cheap field checks, then the weight bytes)
-  /// keyed by model content and input geometry, LRU-evicted.
-  const CompiledModel& compiled_for(const Model& model, int input_h,
+  /// keyed by model content and input geometry, LRU-evicted.  One template
+  /// serves Model and GraphModel; chain and graph entries share the cache
+  /// (matches() never crosses the two).
+  template <typename ModelT>
+  const CompiledModel& compiled_for(const ModelT& model, int input_h,
                                     int input_w);
+  /// Shared body of the two run_batch overloads (defined in session.cpp;
+  /// instantiated only there).
+  template <typename ModelT>
+  BatchRunReport run_batch_impl(const ModelT& model,
+                                const std::vector<Tensor>& inputs,
+                                const RunOptions& opts);
 
   RunSpec spec_;
   ThreadPool pool_;

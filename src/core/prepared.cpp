@@ -34,6 +34,7 @@ void PreparedInt::gather(const PreparedInt& src, std::span<const int32_t> rel,
     const auto s = static_cast<size_t>(base + rel[t]);
     const size_t d = dst_offset + t;
     value_[d] = src.value_[s];
+    if (lanes_ == 0) continue;  // digit planes not packed (bit-serial mode)
     const int8_t* sl = &src.nib_[s * static_cast<size_t>(lanes_)];
     int8_t* dl = &nib_[d * static_cast<size_t>(lanes_)];
     for (int k = 0; k < lanes_; ++k) dl[k] = sl[k];

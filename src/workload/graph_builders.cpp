@@ -1,0 +1,82 @@
+#include "workload/graph_builders.h"
+
+namespace mpipu {
+namespace {
+
+ConvSpec spec_of(int stride, int pad) {
+  ConvSpec s;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+}  // namespace
+
+int append_resnet_basic_block(GraphModel::Builder& b, const std::string& prefix,
+                              int from, int cin, int cout, int stride) {
+  const int c1 = b.conv_shape(prefix + ".conv1", cout, cin, 3, 3,
+                              spec_of(stride, 1), from, /*relu=*/true);
+  // No ReLU on conv2: the block activates after the residual add.
+  const int c2 = b.conv_shape(prefix + ".conv2", cout, cout, 3, 3,
+                              spec_of(1, 1), c1);
+  const int skip = (cin == cout && stride == 1)
+                       ? from
+                       : b.conv_shape(prefix + ".down", cout, cin, 1, 1,
+                                      spec_of(stride, 0), from);
+  return b.add(prefix + ".add", c2, skip, /*relu=*/true);
+}
+
+GraphModel resnet_basic_block_graph(int cin, int cout, int stride,
+                                    std::string name) {
+  GraphModel::Builder b(std::move(name));
+  const int in = b.input();
+  append_resnet_basic_block(b, "block", in, cin, cout, stride);
+  return b.build();
+}
+
+GraphModel resnet18_graph() {
+  GraphModel::Builder b("resnet18-graph");
+  int x = b.input();
+  x = b.conv_shape("conv1", 64, 3, 7, 7, spec_of(2, 3), x, /*relu=*/true,
+                   PoolOp::kMax2);
+  const int stage_channels[4] = {64, 128, 256, 512};
+  int cin = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int cout = stage_channels[stage];
+    const int stride = stage == 0 ? 1 : 2;
+    const std::string prefix = "layer" + std::to_string(stage + 1);
+    x = append_resnet_basic_block(b, prefix + ".0", x, cin, cout, stride);
+    x = append_resnet_basic_block(b, prefix + ".1", x, cout, cout, 1);
+    cin = cout;
+  }
+  return b.build();
+}
+
+int append_inception_a_block(GraphModel::Builder& b, const std::string& prefix,
+                             int from, int cin) {
+  const ConvSpec s1x1 = spec_of(1, 0);
+  const int b1 = b.conv_shape(prefix + ".b1x1", 64, cin, 1, 1, s1x1, from,
+                              /*relu=*/true);
+  const int b5r = b.conv_shape(prefix + ".b5x5r", 48, cin, 1, 1, s1x1, from,
+                               /*relu=*/true);
+  const int b5 = b.conv_shape(prefix + ".b5x5", 64, 48, 5, 5, spec_of(1, 2),
+                              b5r, /*relu=*/true);
+  const int b3r = b.conv_shape(prefix + ".b3x3r", 64, cin, 1, 1, s1x1, from,
+                               /*relu=*/true);
+  const int b3a = b.conv_shape(prefix + ".b3x3a", 96, 64, 3, 3, spec_of(1, 1),
+                               b3r, /*relu=*/true);
+  const int b3b = b.conv_shape(prefix + ".b3x3b", 96, 96, 3, 3, spec_of(1, 1),
+                               b3a, /*relu=*/true);
+  const int bp = b.conv_shape(prefix + ".pool1x1", 32, cin, 1, 1, s1x1, from,
+                              /*relu=*/true);
+  return b.concat(prefix + ".concat", {b1, b5, b3b, bp});
+}
+
+GraphModel inception_a_block_graph(int cin, std::string name) {
+  GraphModel::Builder b(std::move(name));
+  const int in = b.input();
+  append_inception_a_block(b, "mixed5", in, cin);
+  return b.build();
+}
+
+}  // namespace mpipu

@@ -1,15 +1,20 @@
 // Differential fuzzing (deterministic seeds): random IPU configurations x
 // random operand streams, cross-checked against the exact reference and
-// against each other.  Complements the targeted property tests with broad
+// against each other; plus random DAG topologies (chains, diamonds,
+// residual blocks, concat fan-ins) cross-checked between the graph
+// execution core, the Session facade and a hand-wired ConvEngine
+// evaluation.  Complements the targeted property tests with broad
 // configuration coverage.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "analysis/error_metrics.h"
+#include "api/session.h"
 #include "common/rng.h"
 #include "core/ipu.h"
 #include "core/spatial_ipu.h"
+#include "nn/elementwise.h"
 
 namespace mpipu {
 namespace {
@@ -154,6 +159,186 @@ TEST(FuzzDifferential, TemporalAndSpatialAgreeUnderRandomConfigs) {
       spatial.fp_accumulate<kFp16Format>(a, b);
       ASSERT_TRUE(temporal.read_raw() == spatial.read_raw())
           << cfg_trial << "/" << t << " w=" << w << " n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random DAG topologies: the graph execution core (parallel-branch waves,
+// prepared/packed plans) vs the Session facade vs a node-by-node hand-wired
+// ConvEngine chain must agree bit for bit, for every scheme and precision
+// mode that scheme supports.
+// ---------------------------------------------------------------------------
+
+int rint(Rng& rng, int lo, int hi) {
+  return static_cast<int>(rng.uniform_int(lo, hi));
+}
+
+/// A dims-preserving random conv (1x1, or 3x3 with pad 1) onto `from`.
+int fuzz_conv(GraphModel::Builder& b, Rng& rng, int& serial, int from, int cin,
+              int cout, bool relu) {
+  const int k = rng.bernoulli(0.5) ? 1 : 3;
+  ConvSpec spec;
+  spec.pad = (k - 1) / 2;
+  FilterBank f = random_filters(rng, cout, cin, k, k, ValueDist::kNormal, 0.3);
+  return b.conv("n" + std::to_string(serial++), std::move(f), spec, from, relu);
+}
+
+/// Deterministic-seed random DAG: a handful of structural steps, each a
+/// chain conv, a residual block (branch + add, identity or conv skip), or a
+/// concat fan-in of 2-3 branches.  Tracks (c, h, w) so every join agrees by
+/// construction; the returned graph carries real weights.
+GraphModel random_dag(Rng& rng, int& input_c, int& input_h, int& input_w) {
+  GraphModel::Builder b("fuzz-dag");
+  int c = rint(rng, 2, 5);
+  const int h = rint(rng, 5, 8);
+  const int w = rint(rng, 5, 8);
+  input_c = c;
+  input_h = h;
+  input_w = w;
+  int serial = 0;
+  int cur = b.input();
+  // The input node needs a direct conv consumer to pin its channel count.
+  const int c_first = rint(rng, 2, 5);
+  cur = fuzz_conv(b, rng, serial, cur, c, c_first, true);
+  c = c_first;
+  const int steps = rint(rng, 1, 3);
+  for (int s = 0; s < steps; ++s) {
+    switch (rint(rng, 0, 2)) {
+      case 0: {  // chain conv
+        const int cout = rint(rng, 2, 6);
+        cur = fuzz_conv(b, rng, serial, cur, c, cout, rng.bernoulli(0.7));
+        c = cout;
+        break;
+      }
+      case 1: {  // residual block: branch of 1-2 convs back onto cur
+        int t = cur;
+        int tc = c;
+        const int depth = rint(rng, 1, 2);
+        for (int d = 0; d < depth; ++d) {
+          const int cout = d + 1 == depth ? c : rint(rng, 2, 6);
+          t = fuzz_conv(b, rng, serial, t, tc, cout, d + 1 != depth);
+          tc = cout;
+        }
+        cur = b.add("add" + std::to_string(serial++), t, cur,
+                    rng.bernoulli(0.7));
+        break;
+      }
+      default: {  // concat fan-in of 2-3 branches
+        const int branches = rint(rng, 2, 3);
+        std::vector<int> ends;
+        int c_total = 0;
+        for (int br = 0; br < branches; ++br) {
+          int t = cur;
+          int tc = c;
+          const int depth = rint(rng, 1, 2);
+          for (int d = 0; d < depth; ++d) {
+            const int cout = rint(rng, 2, 4);
+            t = fuzz_conv(b, rng, serial, t, tc, cout, rng.bernoulli(0.5));
+            tc = cout;
+          }
+          ends.push_back(t);
+          c_total += tc;
+        }
+        cur = b.concat("cat" + std::to_string(serial++), std::move(ends),
+                       rng.bernoulli(0.5));
+        c = c_total;
+        break;
+      }
+    }
+  }
+  if (rng.bernoulli(0.5)) {  // optional 1x1 head
+    fuzz_conv(b, rng, serial, cur, c, rint(rng, 2, 4), false);
+  }
+  return b.build();
+}
+
+/// Node-by-node evaluation on one ConvEngine -- the "obviously correct"
+/// wiring of the same topology (builder order is topological by
+/// construction, so plain list order works).
+Tensor eval_hand_wired(const GraphModel& g, const Tensor& input,
+                       ConvEngine& engine, bool use_int) {
+  std::vector<Tensor> acts(g.nodes().size());
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const GraphNode& nd = g.nodes()[i];
+    Tensor y;
+    switch (nd.op) {
+      case GraphNode::Op::kInput:
+        acts[i] = input;
+        continue;
+      case GraphNode::Op::kConv: {
+        const Tensor& x = acts[static_cast<size_t>(nd.inputs[0])];
+        y = use_int ? engine.conv_int(x, nd.filters, nd.spec, 8, 8)
+                    : engine.conv_fp16(x, nd.filters, nd.spec);
+        break;
+      }
+      case GraphNode::Op::kAdd:
+      case GraphNode::Op::kConcat: {
+        std::vector<const Tensor*> parts;
+        for (int p : nd.inputs) {
+          parts.push_back(&acts[static_cast<size_t>(p)]);
+        }
+        y = nd.op == GraphNode::Op::kAdd ? tensor_add(parts)
+                                         : channel_concat(parts);
+        break;
+      }
+    }
+    acts[i] = apply_post_ops(std::move(y), nd.relu, nd.pool);
+  }
+  return acts.back();
+}
+
+TEST(FuzzDifferential, RandomDagsAgreeAcrossSchemesModesAndExecutors) {
+  Rng rng(0xF0026);
+  for (int trial = 0; trial < 12; ++trial) {
+    int input_c = 0, input_h = 0, input_w = 0;
+    const GraphModel graph = random_dag(rng, input_c, input_h, input_w);
+    const Tensor input = random_tensor(rng, input_c, input_h, input_w,
+                                       ValueDist::kHalfNormal, 1.0);
+
+    for (DecompositionScheme scheme :
+         {DecompositionScheme::kTemporal, DecompositionScheme::kSerial,
+          DecompositionScheme::kSpatial}) {
+      for (const bool use_int : {false, true}) {
+        if (use_int && scheme == DecompositionScheme::kSpatial) {
+          continue;  // spatial is FP-only
+        }
+        RunSpec spec;
+        spec.datapath = DatapathConfig::for_scheme(scheme);
+        spec.datapath.n_inputs = 16;
+        spec.datapath.adder_tree_width = 16;
+        spec.datapath.software_precision = 28;
+        spec.datapath.multi_cycle = true;
+        spec.policy = use_int ? PrecisionPolicy::all_int(8)
+                              : PrecisionPolicy::all_fp16(AccumKind::kFp32);
+        spec.threads = 1;
+
+        Session session(spec);
+        const RunReport via_session = session.run(graph, input);
+
+        const CompiledModel compiled =
+            session.compile(graph, {input_h, input_w});
+        const RunReport via_compiled = compiled.run(input);
+
+        ConvEngineConfig ec;
+        ec.datapath = spec.datapath;
+        ec.accum = AccumKind::kFp32;
+        ec.threads = 1;
+        ConvEngine engine(ec);
+        const Tensor expected = eval_hand_wired(graph, input, engine, use_int);
+
+        ASSERT_EQ(via_session.output.data.size(), expected.data.size())
+            << "trial " << trial << " " << scheme_name(scheme);
+        for (size_t i = 0; i < expected.data.size(); ++i) {
+          ASSERT_EQ(via_session.output.data[i], expected.data[i])
+              << "trial " << trial << " " << scheme_name(scheme)
+              << (use_int ? " int8" : " fp16") << " elt " << i;
+        }
+        ASSERT_EQ(via_session.to_json(), via_compiled.to_json())
+            << "trial " << trial << " " << scheme_name(scheme);
+        ASSERT_EQ(via_session.totals, engine.stats())
+            << "trial " << trial << " " << scheme_name(scheme);
+      }
     }
   }
 }
