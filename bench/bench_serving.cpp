@@ -42,6 +42,7 @@
 #include "api/session.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "core/simd/simd.h"
 #include "workload/graph_builders.h"
 
 namespace mpipu {
@@ -306,6 +307,7 @@ int main(int argc, char** argv) {
   workload.set("requests_per_path", requests);
   root.set("workload", std::move(workload));
   root.set("hardware_concurrency", hw);
+  root.set("kernel_backend", simd::backend_name());
   const auto emit = [](const char* mode, const SectionResult& s) {
     Json j = Json::object();
     j.set("mode", mode);

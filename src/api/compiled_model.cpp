@@ -3,6 +3,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/simd/simd.h"
 #include "nn/elementwise.h"
 
 namespace mpipu {
@@ -334,6 +335,7 @@ RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
   RunReport report;
   report.model = name_;
   report.scheme = scheme_name(spec_.datapath.scheme);
+  report.kernel_backend = simd::backend_name();
   report.threads = pool.size();
 
   // Per-call scratch: one private datapath per worker slot for single-node

@@ -60,6 +60,7 @@ Json RunReport::to_json_value() const {
   Json j = Json::object();
   j.set("model", model)
       .set("scheme", scheme)
+      .set("kernel_backend", kernel_backend)
       .set("threads", threads)
       .set("totals", mpipu::to_json_value(totals));
   if (end_to_end.total > 0) {

@@ -83,6 +83,43 @@ class Accumulator {
     }
   }
 
+  /// True when add_tree64 may replace add(shl/asr(tree, rescale), in_exp)
+  /// for adder-tree sums bounded by `tree_bits` bits at rescales up to
+  /// `max_rescale`: the register and every intermediate then fit int64 and
+  /// the int64 path is bit-identical to the int128 one.
+  bool fast64_ok(int tree_bits, int max_rescale) const {
+    return !cfg_.lossless && cfg_.register_width() <= 62 &&
+           tree_bits + (max_rescale > 0 ? max_rescale : 0) <= 62;
+  }
+
+  /// int64 fast path of the serve loops (core SIMD paths): adds
+  /// `tree * 2^rescale * 2^(in_exp - frac_bits)`.  Caller guarantees
+  /// fast64_ok(bound(tree), rescale); results, truncation and the overflow
+  /// flag match add() exactly (two's-complement >> composes like asr, and
+  /// the left shift cannot overflow under the fast64_ok bound).
+  void add_tree64(int64_t tree, int rescale, int in_exp) {
+    const int64_t m =
+        rescale >= 0
+            ? tree << rescale
+            : (rescale <= -63 ? tree >> 63 : tree >> -rescale);
+    if (m == 0 && empty()) return;
+    if (empty()) {
+      exp_ = in_exp;
+      reg_ = clamp_width(m);
+      return;
+    }
+    auto r = static_cast<int64_t>(reg_);
+    if (in_exp > exp_) {
+      const int s = in_exp - exp_;
+      r >>= s >= 63 ? 63 : s;
+      exp_ = in_exp;
+      reg_ = clamp_width(r + m);
+    } else {
+      const int s = exp_ - in_exp;
+      reg_ = clamp_width(r + (s >= 63 ? m >> 63 : m >> s));
+    }
+  }
+
   /// Exact value held (for readout / rounding to the output format).
   FixedPoint value() const {
     if (cfg_.lossless) return exact_;

@@ -175,6 +175,26 @@ class Ipu {
   template <typename TreeInt>
   int run_prepared_fp16(const PreparedFp16View& a, const PreparedFp16View& b);
 
+  /// Vectorized serve loop (core/simd): same outputs, stats and cycles as
+  /// run_prepared_fp16, computed through the active kernel backend.
+  /// kNarrow selects int32 vector accumulators (tree bound <= 31 bits).
+  template <bool kNarrow>
+  int run_prepared_fp16_simd(const PreparedFp16View& a,
+                             const PreparedFp16View& b);
+
+  /// Whole-op fused path: one EHU kernel call and one 3x3 band-sum kernel
+  /// call per op (core/simd fused kernels).  Requires MC mode, a window
+  /// guard the int16 lane bound covers, and at most kFusedLanes lanes;
+  /// falls back to the scalar oracle when the EHU spread is too wide.
+  int run_prepared_fp16_fused(const PreparedFp16View& a,
+                              const PreparedFp16View& b);
+
+  /// True when the fused kernels' int16 product bound holds: 0 <= guard <= 7
+  /// (every MC window shift is an up-shift of at most guard).
+  bool guard_in_fused_range() const {
+    return cfg_.window_guard() >= 0 && cfg_.window_guard() <= 7;
+  }
+
   IpuConfig cfg_;
   Accumulator acc_;
   int64_t int_acc_ = 0;
@@ -185,6 +205,10 @@ class Ipu {
   // Prepared-path scratch (EHU output + serve schedule), reused per op.
   EhuResult ehu_;
   BandSchedule sched_;
+  // Vectorized-path scratch: per-lane serve band and split window shifts.
+  std::vector<int32_t> serve_band_, up_, down_;
+  // Fused-path scratch: EHU align/band planes padded through kFusedLanes.
+  std::vector<int32_t> falign_, fband_;
 };
 
 // ---------------------------------------------------------------------------

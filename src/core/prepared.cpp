@@ -15,9 +15,14 @@ void PreparedFp16::gather(const PreparedFp16& src, std::span<const int32_t> rel,
     const size_t d = dst_offset + t;
     exp_[d] = src.exp_[s];
     signed_mag_[d] = src.signed_mag_[s];
-    const int8_t* sl = &src.nib_[s * static_cast<size_t>(kFp16NibbleLanes)];
-    int8_t* dl = &nib_[d * static_cast<size_t>(kFp16NibbleLanes)];
-    for (int k = 0; k < kFp16NibbleLanes; ++k) dl[k] = sl[k];
+  }
+  // Plane-major copies: one contiguous destination run per nibble plane.
+  for (int k = 0; k < kFp16NibbleLanes; ++k) {
+    const int8_t* sl = src.nib_.data() + static_cast<size_t>(k) * src.stride_;
+    int8_t* dl = nib_.data() + static_cast<size_t>(k) * stride_ + dst_offset;
+    for (size_t t = 0; t < m; ++t) {
+      dl[t] = sl[static_cast<size_t>(base + rel[t])];
+    }
   }
 }
 
@@ -31,13 +36,14 @@ void PreparedInt::gather(const PreparedInt& src, std::span<const int32_t> rel,
                          int64_t base, size_t dst_offset) {
   const size_t m = rel.size();
   for (size_t t = 0; t < m; ++t) {
-    const auto s = static_cast<size_t>(base + rel[t]);
-    const size_t d = dst_offset + t;
-    value_[d] = src.value_[s];
-    if (lanes_ == 0) continue;  // digit planes not packed (bit-serial mode)
-    const int8_t* sl = &src.nib_[s * static_cast<size_t>(lanes_)];
-    int8_t* dl = &nib_[d * static_cast<size_t>(lanes_)];
-    for (int k = 0; k < lanes_; ++k) dl[k] = sl[k];
+    value_[dst_offset + t] = src.value_[static_cast<size_t>(base + rel[t])];
+  }
+  for (int k = 0; k < lanes_; ++k) {  // no digit planes in bit-serial mode
+    const int8_t* sl = src.nib_.data() + static_cast<size_t>(k) * src.stride_;
+    int8_t* dl = nib_.data() + static_cast<size_t>(k) * stride_ + dst_offset;
+    for (size_t t = 0; t < m; ++t) {
+      dl[t] = sl[static_cast<size_t>(base + rel[t])];
+    }
   }
 }
 

@@ -31,6 +31,8 @@
 // once at compile time and shared `const` across concurrent executors.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -43,15 +45,43 @@ namespace mpipu {
 /// Nibble lanes per prepared FP16 element (the N2/N1/N0 planes of §2.2).
 inline constexpr int kFp16NibbleLanes = fp_nibble_count(kFp16Format);
 
-/// Non-owning SoA window over prepared FP16 operands.  `nib` is
-/// element-major with stride kFp16NibbleLanes: lanes of element k are
-/// nib[k*3 .. k*3+2], sign already applied (lane weights are the static
-/// 2^(4i - z) of decompose_fp and never stored).
+/// Plane padding unit of the prepared layout (see the contract below).
+inline constexpr size_t kPreparedPlanePad = 32;
+
+/// Round an element count up to the padded plane stride.
+///
+/// PADDING / ALIGNMENT CONTRACT (relied on by src/core/simd):
+///   * nibble data is PLANE-MAJOR: all elements' lane-i nibbles are stored
+///     contiguously, one flat plane per lane, so the serve-loop kernels
+///     stream one plane per nibble iteration with unit stride;
+///   * every plane's stride is a multiple of kPreparedPlanePad elements, so
+///     plane starts sit on 32-byte boundaries relative to the buffer base;
+///   * the tail [size, stride) of every plane is ZERO-filled (resize()
+///     re-zeroes it even when shrinking reuses capacity), so a vector load
+///     that overhangs a full tensor's last element reads zero nibbles --
+///     which multiply to zero products and cannot change any adder-tree sum.
+///     Views into the middle of a tensor (conv chunking) do NOT get this
+///     guarantee -- their overhang is live neighbor data -- so kernels
+///     process whole vectors only below the view length and finish with a
+///     scalar tail.
+inline constexpr size_t prepared_plane_stride(size_t n) {
+  return (n + kPreparedPlanePad - 1) & ~(kPreparedPlanePad - 1);
+}
+
+/// Non-owning SoA window over prepared FP16 operands.  `nib` is plane-major:
+/// element k's lane-i nibble is nib[i*nib_stride + k], sign already applied
+/// (lane weights are the static 2^(4i - z) of decompose_fp and never
+/// stored).
 struct PreparedFp16View {
   const int32_t* exp = nullptr;         ///< unbiased exponent (Decoded::exp)
   const int32_t* signed_mag = nullptr;  ///< (-1)^sign * magnitude
-  const int8_t* nib = nullptr;          ///< packed nibble lanes
+  const int8_t* nib = nullptr;          ///< packed nibble planes (plane-major)
+  size_t nib_stride = 0;                ///< owner's plane stride in elements
   size_t n = 0;
+
+  const int8_t* nib_plane(int i) const {
+    return nib + static_cast<size_t>(i) * nib_stride;
+  }
 };
 
 /// Owning SoA planes for FP16 operands; decode + nibble-decompose happens
@@ -63,12 +93,21 @@ class PreparedFp16 {
 
   size_t size() const { return exp_.size(); }
 
+  size_t nib_stride() const { return stride_; }
+
   /// Grow/shrink without preparing; elements must be set() before use.
-  /// Shrinking keeps capacity -- reuse across gathers never reallocates.
+  /// Shrinking keeps capacity -- reuse across gathers never reallocates --
+  /// but the plane pads are re-zeroed every time to uphold the padding
+  /// contract above (a shrink-then-grow would otherwise expose stale lanes).
   void resize(size_t n) {
     exp_.resize(n);
     signed_mag_.resize(n);
-    nib_.resize(n * static_cast<size_t>(kFp16NibbleLanes));
+    stride_ = prepared_plane_stride(n);
+    nib_.resize(stride_ * static_cast<size_t>(kFp16NibbleLanes));
+    for (int k = 0; k < kFp16NibbleLanes; ++k) {
+      std::fill(nib_.begin() + static_cast<ptrdiff_t>(k * stride_ + n),
+                nib_.begin() + static_cast<ptrdiff_t>((k + 1) * stride_), 0);
+    }
   }
 
   /// Prepare one element (decode + decompose).
@@ -77,9 +116,8 @@ class PreparedFp16 {
     exp_[i] = d.exp;
     signed_mag_[i] = d.signed_magnitude();
     const NibbleOperand nb = decompose_fp<kFp16Format>(d);
-    int8_t* lanes = &nib_[i * static_cast<size_t>(kFp16NibbleLanes)];
     for (int k = 0; k < kFp16NibbleLanes; ++k) {
-      lanes[k] = nb.v[static_cast<size_t>(k)];
+      nib_[static_cast<size_t>(k) * stride_ + i] = nb.v[static_cast<size_t>(k)];
     }
   }
 
@@ -99,24 +137,31 @@ class PreparedFp16 {
   PreparedFp16View view() const { return view(0, size()); }
   PreparedFp16View view(size_t offset, size_t len) const {
     return {exp_.data() + offset, signed_mag_.data() + offset,
-            nib_.data() + offset * static_cast<size_t>(kFp16NibbleLanes), len};
+            nib_.data() + offset, stride_, len};
   }
 
  private:
   std::vector<int32_t> exp_;
   std::vector<int32_t> signed_mag_;
-  std::vector<int8_t> nib_;
+  std::vector<int8_t> nib_;  ///< plane-major, stride_ elements per plane
+  size_t stride_ = 0;
 };
 
 /// Non-owning SoA window over prepared INT operands.  `value` feeds the
 /// bit-serial scheme (which streams raw two's-complement bits); `nib` holds
-/// the signed radix-16 digits of the temporal scheme, element-major with
-/// stride `lanes`.
+/// the signed radix-16 digits of the temporal scheme, plane-major under the
+/// same padding contract as PreparedFp16View (digit i of element k is
+/// nib[i*nib_stride + k]).
 struct PreparedIntView {
   const int32_t* value = nullptr;
   const int8_t* nib = nullptr;
-  int lanes = 0;  ///< digit stride; 0 when packed value-only (serial scheme)
+  size_t nib_stride = 0;  ///< owner's digit-plane stride in elements
+  int lanes = 0;          ///< digit planes; 0 when value-only (serial scheme)
   size_t n = 0;
+
+  const int8_t* nib_plane(int i) const {
+    return nib + static_cast<size_t>(i) * nib_stride;
+  }
 };
 
 /// Owning planes for INT operands quantized to `bits`-wide values.
@@ -141,9 +186,19 @@ class PreparedInt {
     resize(n);
   }
 
+  size_t nib_stride() const { return stride_; }
+
   void resize(size_t n) {
     value_.resize(n);
-    nib_.resize(n * static_cast<size_t>(lanes_));
+    stride_ = prepared_plane_stride(n);
+    nib_.resize(stride_ * static_cast<size_t>(lanes_));
+    for (int k = 0; k < lanes_; ++k) {
+      std::fill(nib_.begin() + static_cast<ptrdiff_t>(
+                                   static_cast<size_t>(k) * stride_ + n),
+                nib_.begin() + static_cast<ptrdiff_t>(
+                                   static_cast<size_t>(k + 1) * stride_),
+                0);
+    }
   }
 
   void set(size_t i, int32_t v) {
@@ -151,8 +206,9 @@ class PreparedInt {
     if (lanes_ == 0) return;  // value-only packing
     const NibbleOperand nb =
         unsigned_ ? decompose_int_unsigned(v, bits_) : decompose_int(v, bits_);
-    int8_t* lanes = &nib_[i * static_cast<size_t>(lanes_)];
-    for (int k = 0; k < lanes_; ++k) lanes[k] = nb.v[static_cast<size_t>(k)];
+    for (int k = 0; k < lanes_; ++k) {
+      nib_[static_cast<size_t>(k) * stride_ + i] = nb.v[static_cast<size_t>(k)];
+    }
   }
 
   void assign(std::span<const int32_t> vals, int bit_width,
@@ -171,8 +227,7 @@ class PreparedInt {
 
   PreparedIntView view() const { return view(0, size()); }
   PreparedIntView view(size_t offset, size_t len) const {
-    return {value_.data() + offset,
-            nib_.data() + offset * static_cast<size_t>(lanes_), lanes_, len};
+    return {value_.data() + offset, nib_.data() + offset, stride_, lanes_, len};
   }
 
  private:
@@ -180,7 +235,8 @@ class PreparedInt {
   int lanes_ = 1;
   bool unsigned_ = false;
   std::vector<int32_t> value_;
-  std::vector<int8_t> nib_;
+  std::vector<int8_t> nib_;  ///< plane-major, stride_ elements per plane
+  size_t stride_ = 0;
 };
 
 }  // namespace mpipu

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/simd/simd.h"
+
 namespace mpipu {
 
 SerialIpu::SerialIpu(const SerialIpuConfig& cfg) : cfg_(cfg), acc_(cfg.accumulator) {
@@ -131,6 +133,157 @@ int SerialIpu::run_prepared_fp16(const PreparedFp16View& a,
   return cycles;
 }
 
+template <bool kNarrow>
+int SerialIpu::run_prepared_fp16_simd(const PreparedFp16View& a,
+                                      const PreparedFp16View& b) {
+  const size_t n = a.n;
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kSteps = 12;  // 11 magnitude bits + 1 pad (implicit shift)
+  const simd::KernelTable& K = simd::kernels();
+
+  EhuOptions eopts;
+  eopts.software_precision = cfg_.software_precision;
+  eopts.safe_precision = std::max(cfg_.safe_precision(), 1);
+  run_ehu(std::span<const int32_t>(a.exp, n), std::span<const int32_t>(b.exp, n),
+          eopts, ehu_);
+
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+  const bool single_cycle = !cfg_.multi_cycle;
+  const int bands = single_cycle ? 1 : ehu_.mc_cycles;
+  if (bands > simd::kMaxBands) return run_prepared_fp16<int64_t>(a, b);
+
+  serve_band_.resize(n);
+  up_.resize(n);
+  down_.resize(n);
+  K.serve_shifts_i32(ehu_.align.data(), ehu_.band.data(), n, guard, sp,
+                     single_cycle ? 1 : 0, cfg_.adder_tree_width,
+                     serve_band_.data(), up_.data(), down_.data());
+
+  padded_mag_.resize(n);
+  lane_p_.resize(n);
+  K.serial_lanes_i32(a.signed_mag, b.signed_mag, n, padded_mag_.data(),
+                     lane_p_.data());
+
+  // The lane's net window shift is constant across all 12 bit steps, so the
+  // shifted multiplicand is precomputed once (masked lanes shift by 0 and
+  // are dropped by their -1 serve band in the band sums).
+  if constexpr (kNarrow) {
+    v32_.resize(n);
+    K.shifted_lanes_i32(lane_p_.data(), up_.data(), down_.data(), n,
+                        v32_.data());
+  } else {
+    v64_.resize(n);
+    K.shifted_lanes_i64(lane_p_.data(), up_.data(), down_.data(), n,
+                        v64_.data());
+  }
+
+  const int frac_bits = acc_.config().frac_bits;
+  const bool fast = acc_.fast64_ok(
+      kNarrow ? 31 : 62, (kSteps - 2) - 2 * F.man_bits - guard + frac_bits);
+  for (int t = 0; t < kSteps; ++t) {
+    int64_t sums[simd::kMaxBands] = {0};
+    if constexpr (kNarrow) {
+      K.serial_band_sums_i32(v32_.data(), padded_mag_.data(), t,
+                             serve_band_.data(), n, bands, sums);
+    } else {
+      K.serial_band_sums_i64(v64_.data(), padded_mag_.data(), t,
+                             serve_band_.data(), n, bands, sums);
+    }
+    const int base_rescale = (t - 1) - 2 * F.man_bits - guard + frac_bits;
+    for (int c = 0; c < bands; ++c) {
+      const int rescale = base_rescale - (single_cycle ? 0 : c * sp);
+      if (fast) {
+        acc_.add_tree64(sums[c], rescale, ehu_.max_exp);
+        continue;
+      }
+      const auto tree128 = static_cast<int128>(sums[c]);
+      acc_.add(rescale >= 0 ? shl(tree128, rescale) : asr(tree128, -rescale),
+               ehu_.max_exp);
+    }
+  }
+
+  const int cycles = kSteps * bands;
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
+int SerialIpu::run_prepared_fp16_fused(const PreparedFp16View& a,
+                                       const PreparedFp16View& b) {
+  const size_t n = a.n;
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kSteps = simd::kSerialSteps;
+  const simd::KernelTable& K = simd::kernels();
+
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+
+  falign_.resize(simd::kFusedLanes);
+  fband_.resize(simd::kFusedLanes);
+  int32_t max_exp, max_band, n_masked, max_align;
+  uint32_t occ;
+  if (!K.ehu_fused_i32(a.exp, b.exp, n, cfg_.software_precision,
+                       std::max(sp, 1), falign_.data(), fband_.data(), &max_exp,
+                       &occ, &max_band, &n_masked, &max_align)) {
+    return run_prepared_fp16<int64_t>(a, b);
+  }
+  const int bands = std::max(max_band, 0) + 1;
+  if (bands > simd::kMaxBands) return run_prepared_fp16<int64_t>(a, b);
+
+  // Serve planes padded through kFusedLanes (band -1, values 0) so the
+  // fused kernel can run whole 16-lane registers.
+  for (size_t k = n; k < simd::kFusedLanes; ++k) {
+    falign_[k] = 0;
+    fband_[k] = -1;
+  }
+  serve_band_.resize(simd::kFusedLanes);
+  up_.resize(simd::kFusedLanes);
+  down_.resize(simd::kFusedLanes);
+  K.serve_shifts_i32(falign_.data(), fband_.data(), simd::kFusedLanes, guard,
+                     sp, 0, cfg_.adder_tree_width, serve_band_.data(),
+                     up_.data(), down_.data());
+
+  padded_mag_.resize(simd::kFusedLanes);
+  lane_p_.resize(simd::kFusedLanes);
+  K.serial_lanes_i32(a.signed_mag, b.signed_mag, n, padded_mag_.data(),
+                     lane_p_.data());
+  for (size_t k = n; k < simd::kFusedLanes; ++k) {
+    padded_mag_[k] = 0;
+    lane_p_[k] = 0;
+  }
+  v32_.resize(simd::kFusedLanes);
+  K.shifted_lanes_i32(lane_p_.data(), up_.data(), down_.data(),
+                      simd::kFusedLanes, v32_.data());
+
+  int64_t sums[simd::kMaxBands * kSteps];
+  K.serial_fused_i16(v32_.data(), padded_mag_.data(), serve_band_.data(), n,
+                     bands, sums);
+
+  const int frac_bits = acc_.config().frac_bits;
+  const bool fast = acc_.fast64_ok(
+      31, (kSteps - 2) - 2 * F.man_bits - guard + frac_bits);
+  for (int t = 0; t < kSteps; ++t) {
+    const int base_rescale = (t - 1) - 2 * F.man_bits - guard + frac_bits;
+    for (int c = 0; c < bands; ++c) {
+      const int rescale = base_rescale - c * sp;
+      const int64_t tree = sums[static_cast<size_t>(c) * kSteps + t];
+      if (fast) {
+        acc_.add_tree64(tree, rescale, max_exp);
+        continue;
+      }
+      const auto tree128 = static_cast<int128>(tree);
+      acc_.add(rescale >= 0 ? shl(tree128, rescale) : asr(tree128, -rescale),
+               max_exp);
+    }
+  }
+
+  const int cycles = kSteps * bands;
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
 int SerialIpu::fp16_accumulate_prepared(const PreparedFp16View& a,
                                         const PreparedFp16View& b) {
   assert(a.n == b.n);
@@ -138,6 +291,18 @@ int SerialIpu::fp16_accumulate_prepared(const PreparedFp16View& a,
   // 12-bit multiplicands shifted up to window_guard and summed over n lanes.
   const int tree_bits = std::max(cfg_.window_guard(), 0) + 12 +
                         ceil_log2(std::max(cfg_.n_inputs, 1)) + 1;
+  if (simd::active_backend() != simd::Backend::kScalar) {
+    // Whole-op fused kernel: MC mode makes every window shift an up-shift
+    // of at most guard, and guard <= 4 keeps |p << guard| <= 2047 << 4 in
+    // int16; 16 lanes of those stay far inside int32.
+    const int guard = cfg_.window_guard();
+    if (cfg_.multi_cycle && guard >= 0 && guard <= 4 && a.n >= 1 &&
+        a.n <= simd::kFusedLanes) {
+      return run_prepared_fp16_fused(a, b);
+    }
+    if (tree_bits <= 31) return run_prepared_fp16_simd<true>(a, b);
+    if (tree_bits <= 62) return run_prepared_fp16_simd<false>(a, b);
+  }
   return tree_bits <= 62 ? run_prepared_fp16<int64_t>(a, b)
                          : run_prepared_fp16<int128>(a, b);
 }
@@ -154,11 +319,19 @@ int SerialIpu::int_accumulate(std::span<const int32_t> a, std::span<const int32_
   }
   // Serial over b's two's-complement bits; the top bit carries negative
   // weight.
+  const bool use_simd = simd::active_backend() != simd::Backend::kScalar;
+  const simd::KernelTable& K = simd::kernels();
   for (int t = 0; t < b_bits; ++t) {
-    int64_t tree_sum = 0;
-    for (size_t k = 0; k < n; ++k) {
-      if (((b[k] >> t) & 1) == 0) continue;
-      tree_sum += t == b_bits - 1 ? -int64_t{a[k]} : int64_t{a[k]};
+    int64_t tree_sum;
+    if (use_simd) {
+      tree_sum = K.bit_masked_sum_i32(a.data(), b.data(), t, n);
+      if (t == b_bits - 1) tree_sum = -tree_sum;
+    } else {
+      tree_sum = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (((b[k] >> t) & 1) == 0) continue;
+        tree_sum += t == b_bits - 1 ? -int64_t{a[k]} : int64_t{a[k]};
+      }
     }
     int_acc_ += tree_sum << t;
   }

@@ -1,0 +1,869 @@
+// AVX2 implementations of the SIMD kernel set (see simd.h for contracts).
+//
+// Compiled only when the build targets an AVX2-capable host (the
+// MPIPU_NATIVE CMake gate passes -march=native); otherwise this TU is empty
+// and avx2_kernel_table() reports the backend as unavailable.
+//
+// Bit-identity notes:
+//   * every kernel processes floor(n / V) whole vectors and finishes with
+//     the scalar reference loop -- no reads past n on caller planes;
+//   * integer band sums are order-independent, so accumulating 8 lanes in
+//     parallel and horizontally reducing at the end equals the scalar
+//     left-to-right sum exactly;
+//   * masked lanes carry band == -1 (never equal to a served band) and
+//     up == down == 0 (shift counts stay in range), so their lane values
+//     are computed and then discarded by the band mask;
+//   * the _i32 band-sum kernels rely on the callers' tree-bits bound
+//     (tree_bits <= 31): every partial sum of shifted products fits int32;
+//   * band = align / sp uses the magic-multiply m = ceil(2^32 / sp):
+//     floor(x * m / 2^32) == floor(x / sp) exactly for all 0 <= x < 2^16,
+//     2 <= sp < 2^16 (sp == 1 short-circuits to a copy).
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/simd/kernels.h"
+
+namespace mpipu::simd {
+namespace {
+
+inline int32_t hsum8_i32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline int64_t hsum4_i64(__m256i v) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return _mm_cvtsi128_si64(s) +
+         _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s));
+}
+
+inline int32_t hmax8_i32(__m256i v) {
+  __m128i s = _mm_max_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_max_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_max_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline int32_t hmin8_i32(__m256i v) {
+  __m128i s = _mm_min_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_min_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_min_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline int32_t hor8_i32(__m256i v) {
+  __m128i s = _mm_or_si128(_mm256_castsi256_si128(v),
+                           _mm256_extracti128_si256(v, 1));
+  s = _mm_or_si128(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_or_si128(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// Packs two 8-lane i32 vectors (every value fits int16) into one 16-lane
+/// i16 vector in source order: lanes 0-7 from `lo`, 8-15 from `hi`.
+inline __m256i pack32_16(__m256i lo, __m256i hi) {
+  return _mm256_permute4x64_epi64(_mm256_packs_epi32(lo, hi), 0xD8);
+}
+
+/// Transposed reduction of four 8-lane i32 accumulators:
+/// returns [hsum(r0), hsum(r1), hsum(r2), hsum(r3)].
+inline __m128i red4_i32(__m256i r0, __m256i r1, __m256i r2, __m256i r3) {
+  const __m256i h01 = _mm256_hadd_epi32(r0, r1);
+  const __m256i h23 = _mm256_hadd_epi32(r2, r3);
+  const __m256i h = _mm256_hadd_epi32(h01, h23);
+  return _mm_add_epi32(_mm256_castsi256_si128(h),
+                       _mm256_extracti128_si256(h, 1));
+}
+
+/// floor(x / d) for 8 unsigned lanes < 2^16, 2 <= d < 2^16, via the magic
+/// multiplier m = ceil(2^32 / d).
+inline __m256i divq_u32(__m256i x, __m256i m) {
+  const __m256i pe = _mm256_mul_epu32(x, m);
+  const __m256i po = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), m);
+  const __m256i hi_e = _mm256_srli_epi64(pe, 32);
+  const __m256i hi_o = _mm256_and_si256(
+      po, _mm256_set1_epi64x(static_cast<long long>(0xFFFFFFFF00000000ULL)));
+  return _mm256_or_si256(hi_e, hi_o);
+}
+
+inline uint32_t magic_for(int32_t d) {
+  return static_cast<uint32_t>(((uint64_t{1} << 32) + static_cast<uint64_t>(d) -
+                                1) /
+                               static_cast<uint64_t>(d));
+}
+
+}  // namespace
+
+namespace avx2 {
+
+void sum_minmax_i32(const int32_t* a, const int32_t* b, int32_t* sum, size_t n,
+                    int32_t* mx, int32_t* mn) {
+  size_t k = 0;
+  __m256i vmx = _mm256_set1_epi32(INT32_MIN);
+  __m256i vmn = _mm256_set1_epi32(INT32_MAX);
+  for (; k + 8 <= n; k += 8) {
+    const __m256i s = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum + k), s);
+    vmx = _mm256_max_epi32(vmx, s);
+    vmn = _mm256_min_epi32(vmn, s);
+  }
+  int32_t smx = hmax8_i32(vmx), smn = hmin8_i32(vmn);
+  for (; k < n; ++k) {
+    const int32_t s = a[k] + b[k];
+    sum[k] = s;
+    smx = std::max(smx, s);
+    smn = std::min(smn, s);
+  }
+  *mx = smx;
+  *mn = smn;
+}
+
+void rsub_i32(int32_t c, const int32_t* x, int32_t* out, size_t n) {
+  const __m256i vc = _mm256_set1_epi32(c);
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + k),
+        _mm256_sub_epi32(vc, _mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(x + k))));
+  }
+  for (; k < n; ++k) out[k] = c - x[k];
+}
+
+void mask_and_band_i32(const int32_t* align, size_t n, int32_t soft,
+                       int32_t sp, int32_t* band, uint8_t* masked) {
+  const __m256i vsoft = _mm256_set1_epi32(soft);
+  const __m256i neg1 = _mm256_set1_epi32(-1);
+  const __m256i vm =
+      sp >= 2 ? _mm256_set1_epi32(static_cast<int32_t>(magic_for(sp)))
+              : _mm256_setzero_si256();
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i al =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(align + k));
+    const __m256i msk = _mm256_cmpgt_epi32(al, vsoft);
+    const __m256i q = sp >= 2 ? divq_u32(al, vm) : al;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(band + k),
+                        _mm256_blendv_epi8(q, neg1, msk));
+    const int bits = _mm256_movemask_ps(_mm256_castsi256_ps(msk));
+    for (int t = 0; t < 8; ++t) masked[k + static_cast<size_t>(t)] = (bits >> t) & 1;
+  }
+  for (; k < n; ++k) {
+    const bool m = align[k] > soft;
+    masked[k] = m ? 1 : 0;
+    band[k] = m ? -1 : align[k] / sp;
+  }
+}
+
+void serve_shifts_i32(const int32_t* align, const int32_t* band, size_t n,
+                      int32_t guard, int32_t sp, int single_cycle,
+                      int32_t window, int32_t* serve_band, int32_t* up,
+                      int32_t* down) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i neg1 = _mm256_set1_epi32(-1);
+  const __m256i vguard = _mm256_set1_epi32(guard);
+  const __m256i vsp = _mm256_set1_epi32(sp);
+  const __m256i vwin = _mm256_set1_epi32(window);
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i al =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(align + k));
+    const __m256i bd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band + k));
+    const __m256i msk = _mm256_cmpgt_epi32(zero, bd);  // masked: band < 0
+    __m256i sb, local;
+    if (single_cycle) {
+      sb = zero;
+      local = _mm256_min_epi32(al, vwin);
+    } else {
+      sb = bd;
+      local = _mm256_sub_epi32(al, _mm256_mullo_epi32(bd, vsp));
+    }
+    const __m256i net = _mm256_sub_epi32(vguard, local);
+    __m256i upv = _mm256_max_epi32(net, zero);
+    __m256i dnv = _mm256_max_epi32(_mm256_sub_epi32(zero, net), zero);
+    sb = _mm256_blendv_epi8(sb, neg1, msk);
+    upv = _mm256_andnot_si256(msk, upv);
+    dnv = _mm256_andnot_si256(msk, dnv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(serve_band + k), sb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(up + k), upv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(down + k), dnv);
+  }
+  for (; k < n; ++k) {
+    if (band[k] < 0) {
+      serve_band[k] = -1;
+      up[k] = 0;
+      down[k] = 0;
+      continue;
+    }
+    const int32_t local =
+        single_cycle ? std::min(align[k], window) : align[k] - band[k] * sp;
+    const int32_t net = guard - local;
+    serve_band[k] = single_cycle ? 0 : band[k];
+    up[k] = net >= 0 ? net : 0;
+    down[k] = net >= 0 ? 0 : -net;
+  }
+}
+
+void nibble_band_sums_i32(const int8_t* pa, const int8_t* pb,
+                          const int32_t* band, const int32_t* up,
+                          const int32_t* down, size_t n, int bands,
+                          int64_t* sums) {
+  __m256i acc[kMaxBands];
+  for (int c = 0; c < bands; ++c) acc[c] = _mm256_setzero_si256();
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i a = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pa + k)));
+    const __m256i b = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pb + k)));
+    __m256i p = _mm256_mullo_epi32(a, b);
+    p = _mm256_srav_epi32(
+        p, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(down + k)));
+    p = _mm256_sllv_epi32(
+        p, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(up + k)));
+    const __m256i bd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band + k));
+    for (int c = 0; c < bands; ++c) {
+      const __m256i m = _mm256_cmpeq_epi32(bd, _mm256_set1_epi32(c));
+      acc[c] = _mm256_add_epi32(acc[c], _mm256_and_si256(p, m));
+    }
+  }
+  for (int c = 0; c < bands; ++c) sums[c] += hsum8_i32(acc[c]);
+  for (; k < n; ++k) {
+    if (band[k] < 0) continue;
+    int32_t p = static_cast<int32_t>(pa[k]) * static_cast<int32_t>(pb[k]);
+    p = (p >> down[k]) << up[k];
+    sums[band[k]] += p;
+  }
+}
+
+void nibble_band_sums_i64(const int8_t* pa, const int8_t* pb,
+                          const int32_t* band, const int32_t* up,
+                          const int32_t* down, size_t n, int bands,
+                          int64_t* sums) {
+  __m256i acc[kMaxBands];
+  for (int c = 0; c < bands; ++c) acc[c] = _mm256_setzero_si256();
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i a = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pa + k)));
+    const __m256i b = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pb + k)));
+    const __m256i p32 = _mm256_srav_epi32(
+        _mm256_mullo_epi32(a, b),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(down + k)));
+    const __m256i up32 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(up + k));
+    const __m256i bd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band + k));
+    const __m256i p0 = _mm256_sllv_epi64(
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p32)),
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(up32)));
+    const __m256i p1 = _mm256_sllv_epi64(
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p32, 1)),
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(up32, 1)));
+    for (int c = 0; c < bands; ++c) {
+      const __m256i m = _mm256_cmpeq_epi32(bd, _mm256_set1_epi32(c));
+      const __m256i m0 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(m));
+      const __m256i m1 = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(m, 1));
+      acc[c] = _mm256_add_epi64(acc[c], _mm256_and_si256(p0, m0));
+      acc[c] = _mm256_add_epi64(acc[c], _mm256_and_si256(p1, m1));
+    }
+  }
+  for (int c = 0; c < bands; ++c) sums[c] += hsum4_i64(acc[c]);
+  for (; k < n; ++k) {
+    if (band[k] < 0) continue;
+    const int32_t p = static_cast<int32_t>(pa[k]) * static_cast<int32_t>(pb[k]);
+    sums[band[k]] += static_cast<int64_t>(p >> down[k]) << up[k];
+  }
+}
+
+void serial_lanes_i32(const int32_t* a_sm, const int32_t* b_sm, size_t n,
+                      uint32_t* mag, int32_t* lane_p) {
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_sm + k));
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a_sm + k));
+    const __m256i sgn = _mm256_srai_epi32(b, 31);  // -1 where b < 0
+    const __m256i absb =
+        _mm256_sub_epi32(_mm256_xor_si256(b, sgn), sgn);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mag + k),
+                        _mm256_slli_epi32(absb, 1));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(lane_p + k),
+        _mm256_sub_epi32(_mm256_xor_si256(a, sgn), sgn));
+  }
+  for (; k < n; ++k) {
+    const int32_t smb = b_sm[k];
+    mag[k] = static_cast<uint32_t>(smb < 0 ? -smb : smb) << 1;
+    lane_p[k] = smb < 0 ? -a_sm[k] : a_sm[k];
+  }
+}
+
+void shifted_lanes_i32(const int32_t* p, const int32_t* up, const int32_t* down,
+                       size_t n, int32_t* v) {
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + k));
+    x = _mm256_srav_epi32(
+        x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(down + k)));
+    x = _mm256_sllv_epi32(
+        x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(up + k)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(v + k), x);
+  }
+  for (; k < n; ++k) v[k] = (p[k] >> down[k]) << up[k];
+}
+
+void shifted_lanes_i64(const int32_t* p, const int32_t* up, const int32_t* down,
+                       size_t n, int64_t* v) {
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m128i x32 = _mm_srav_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + k)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(down + k)));
+    const __m256i x = _mm256_sllv_epi64(
+        _mm256_cvtepi32_epi64(x32),
+        _mm256_cvtepi32_epi64(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(up + k))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(v + k), x);
+  }
+  for (; k < n; ++k) v[k] = static_cast<int64_t>(p[k] >> down[k]) << up[k];
+}
+
+void serial_band_sums_i32(const int32_t* v, const uint32_t* mag, int t,
+                          const int32_t* band, size_t n, int bands,
+                          int64_t* sums) {
+  __m256i acc[kMaxBands];
+  for (int c = 0; c < bands; ++c) acc[c] = _mm256_setzero_si256();
+  const __m128i lsh = _mm_cvtsi32_si128(31 - t);
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mag + k));
+    // -1 where bit t of mag is set: (mag << (31 - t)) >> 31 arithmetically.
+    const __m256i bit =
+        _mm256_srai_epi32(_mm256_sll_epi32(m, lsh), 31);
+    const __m256i p = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + k)), bit);
+    const __m256i bd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band + k));
+    for (int c = 0; c < bands; ++c) {
+      const __m256i bm = _mm256_cmpeq_epi32(bd, _mm256_set1_epi32(c));
+      acc[c] = _mm256_add_epi32(acc[c], _mm256_and_si256(p, bm));
+    }
+  }
+  for (int c = 0; c < bands; ++c) sums[c] += hsum8_i32(acc[c]);
+  for (; k < n; ++k) {
+    if (band[k] < 0) continue;
+    if (((mag[k] >> t) & 1u) == 0) continue;
+    sums[band[k]] += v[k];
+  }
+}
+
+void serial_band_sums_i64(const int64_t* v, const uint32_t* mag, int t,
+                          const int32_t* band, size_t n, int bands,
+                          int64_t* sums) {
+  __m256i acc[kMaxBands];
+  for (int c = 0; c < bands; ++c) acc[c] = _mm256_setzero_si256();
+  const __m128i lsh = _mm_cvtsi32_si128(31 - t);
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m128i m =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(mag + k));
+    const __m128i bit = _mm_srai_epi32(_mm_sll_epi32(m, lsh), 31);
+    const __m128i bd =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(band + k));
+    const __m256i p = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + k)),
+        _mm256_cvtepi32_epi64(bit));
+    for (int c = 0; c < bands; ++c) {
+      const __m128i bm = _mm_cmpeq_epi32(bd, _mm_set1_epi32(c));
+      acc[c] = _mm256_add_epi64(
+          acc[c], _mm256_and_si256(p, _mm256_cvtepi32_epi64(bm)));
+    }
+  }
+  for (int c = 0; c < bands; ++c) sums[c] += hsum4_i64(acc[c]);
+  for (; k < n; ++k) {
+    if (band[k] < 0) continue;
+    if (((mag[k] >> t) & 1u) == 0) continue;
+    sums[band[k]] += v[k];
+  }
+}
+
+void fp16_diag_products(const int8_t* a, size_t a_stride, const int8_t* b,
+                        size_t b_stride, size_t n, int16_t* diag,
+                        size_t d_stride) {
+  size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    const __m256i a0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + k)));
+    const __m256i a1 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + a_stride + k)));
+    const __m256i a2 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a + 2 * a_stride + k)));
+    const __m256i b0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + k)));
+    const __m256i b1 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + b_stride + k)));
+    const __m256i b2 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b + 2 * b_stride + k)));
+    const __m256i d0 = _mm256_mullo_epi16(a0, b0);
+    const __m256i d1 = _mm256_add_epi16(_mm256_mullo_epi16(a0, b1),
+                                        _mm256_mullo_epi16(a1, b0));
+    const __m256i d2 = _mm256_add_epi16(
+        _mm256_add_epi16(_mm256_mullo_epi16(a0, b2), _mm256_mullo_epi16(a1, b1)),
+        _mm256_mullo_epi16(a2, b0));
+    const __m256i d3 = _mm256_add_epi16(_mm256_mullo_epi16(a1, b2),
+                                        _mm256_mullo_epi16(a2, b1));
+    const __m256i d4 = _mm256_mullo_epi16(a2, b2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diag + k), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diag + d_stride + k), d1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diag + 2 * d_stride + k), d2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diag + 3 * d_stride + k), d3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diag + 4 * d_stride + k), d4);
+  }
+  if (k < n) {
+    const int8_t* a0 = a;
+    const int8_t* a1 = a + a_stride;
+    const int8_t* a2 = a + 2 * a_stride;
+    const int8_t* b0 = b;
+    const int8_t* b1 = b + b_stride;
+    const int8_t* b2 = b + 2 * b_stride;
+    for (; k < n; ++k) {
+      const int16_t x0 = a0[k], x1 = a1[k], x2 = a2[k];
+      const int16_t y0 = b0[k], y1 = b1[k], y2 = b2[k];
+      diag[0 * d_stride + k] = static_cast<int16_t>(x0 * y0);
+      diag[1 * d_stride + k] = static_cast<int16_t>(x0 * y1 + x1 * y0);
+      diag[2 * d_stride + k] =
+          static_cast<int16_t>(x0 * y2 + x1 * y1 + x2 * y0);
+      diag[3 * d_stride + k] = static_cast<int16_t>(x1 * y2 + x2 * y1);
+      diag[4 * d_stride + k] = static_cast<int16_t>(x2 * y2);
+    }
+  }
+}
+
+void diag_bands_i32(const int32_t* align, const int32_t* ehu_band, size_t n,
+                    int32_t offs0, int planes, int32_t sp, int32_t guard,
+                    size_t stride, int32_t* band, int32_t* up,
+                    int32_t* max_band, uint32_t* occupancy) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i neg1 = _mm256_set1_epi32(-1);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i v31 = _mm256_set1_epi32(31);
+  const __m256i vsp = _mm256_set1_epi32(sp);
+  const __m256i vguard = _mm256_set1_epi32(guard);
+  const __m256i vm =
+      sp >= 2 ? _mm256_set1_epi32(static_cast<int32_t>(magic_for(sp)))
+              : _mm256_setzero_si256();
+  __m256i mb_acc = neg1;
+  __m256i occ_acc = zero;
+  int32_t mb = -1;
+  uint32_t occ = 0;
+  for (int s = 0; s < planes; ++s) {
+    const int32_t offs = offs0 - 4 * s;
+    const __m256i voffs = _mm256_set1_epi32(offs);
+    int32_t* bd_out = band + static_cast<size_t>(s) * stride;
+    int32_t* up_out = up + static_cast<size_t>(s) * stride;
+    size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m256i eb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ehu_band + k));
+      const __m256i msk = _mm256_cmpgt_epi32(zero, eb);
+      const __m256i shift = _mm256_add_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(align + k)),
+          voffs);
+      const __m256i c = sp >= 2 ? divq_u32(shift, vm) : shift;
+      const __m256i local = _mm256_sub_epi32(shift, _mm256_mullo_epi32(c, vsp));
+      const __m256i upv = _mm256_sub_epi32(vguard, local);
+      const __m256i bd = _mm256_blendv_epi8(c, neg1, msk);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(bd_out + k), bd);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(up_out + k),
+                          _mm256_andnot_si256(msk, upv));
+      mb_acc = _mm256_max_epi32(mb_acc, bd);
+      // Masked lanes: min(bd, 31) = -1, and sllv with a count > 31 yields
+      // zero, so they drop out of the occupancy OR.
+      occ_acc = _mm256_or_si256(
+          occ_acc, _mm256_sllv_epi32(one, _mm256_min_epi32(bd, v31)));
+    }
+    for (; k < n; ++k) {
+      if (ehu_band[k] < 0) {
+        bd_out[k] = -1;
+        up_out[k] = 0;
+        continue;
+      }
+      const int32_t shift = align[k] + offs;
+      const int32_t c = shift / sp;
+      bd_out[k] = c;
+      up_out[k] = guard - (shift - c * sp);
+      mb = std::max(mb, c);
+      occ |= 1u << std::min(c, 31);
+    }
+  }
+  *max_band = std::max(mb, hmax8_i32(mb_acc));
+  *occupancy = occ | static_cast<uint32_t>(hor8_i32(occ_acc));
+}
+
+void diag_band_sums_planes_i32(const int16_t* d, const int32_t* band,
+                               const int32_t* up, size_t stride, int planes,
+                               size_t n, int bands, int64_t* sums) {
+  __m256i acc[kMaxBands];
+  for (int c = 0; c < bands; ++c) acc[c] = _mm256_setzero_si256();
+  int64_t tail[kMaxBands] = {0};
+  for (int s = 0; s < planes; ++s) {
+    const size_t off = static_cast<size_t>(s) * stride;
+    const int16_t* ds = d + off;
+    const int32_t* bs = band + off;
+    const int32_t* us = up + off;
+    size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m256i x = _mm256_sllv_epi32(
+          _mm256_cvtepi16_epi32(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(ds + k))),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(us + k)));
+      const __m256i bd =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bs + k));
+      for (int c = 0; c < bands; ++c) {
+        const __m256i m = _mm256_cmpeq_epi32(bd, _mm256_set1_epi32(c));
+        acc[c] = _mm256_add_epi32(acc[c], _mm256_and_si256(x, m));
+      }
+    }
+    for (; k < n; ++k) {
+      if (bs[k] < 0) continue;
+      tail[bs[k]] += static_cast<int32_t>(ds[k]) << us[k];
+    }
+  }
+  for (int c = 0; c < bands; ++c) sums[c] = hsum8_i32(acc[c]) + tail[c];
+}
+
+void diag_band_sums_planes_i64(const int16_t* d, const int32_t* band,
+                               const int32_t* up, size_t stride, int planes,
+                               size_t n, int bands, int64_t* sums) {
+  __m256i acc[kMaxBands];
+  for (int c = 0; c < bands; ++c) acc[c] = _mm256_setzero_si256();
+  int64_t tail[kMaxBands] = {0};
+  for (int s = 0; s < planes; ++s) {
+    const size_t off = static_cast<size_t>(s) * stride;
+    const int16_t* ds = d + off;
+    const int32_t* bs = band + off;
+    const int32_t* us = up + off;
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+      const __m128i d32 = _mm_cvtepi16_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ds + k)));
+      const __m256i x = _mm256_sllv_epi64(
+          _mm256_cvtepi32_epi64(d32),
+          _mm256_cvtepi32_epi64(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(us + k))));
+      const __m128i bd =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bs + k));
+      for (int c = 0; c < bands; ++c) {
+        const __m128i m = _mm_cmpeq_epi32(bd, _mm_set1_epi32(c));
+        acc[c] = _mm256_add_epi64(
+            acc[c], _mm256_and_si256(x, _mm256_cvtepi32_epi64(m)));
+      }
+    }
+    for (; k < n; ++k) {
+      if (bs[k] < 0) continue;
+      tail[bs[k]] += static_cast<int64_t>(ds[k]) << us[k];
+    }
+  }
+  for (int c = 0; c < bands; ++c) sums[c] = hsum4_i64(acc[c]) + tail[c];
+}
+
+bool ehu_fused_i32(const int32_t* ea, const int32_t* eb, size_t n, int32_t soft,
+                   int32_t sp, int32_t* align, int32_t* band, int32_t* max_exp,
+                   uint32_t* occupancy, int32_t* max_band, int32_t* n_masked,
+                   int32_t* max_align) {
+  // Pass 1: product exponents (staged in the align buffer) and max/min.
+  __m256i vmx = _mm256_set1_epi32(INT32_MIN);
+  __m256i vmn = _mm256_set1_epi32(INT32_MAX);
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i s = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ea + k)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(eb + k)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(align + k), s);
+    vmx = _mm256_max_epi32(vmx, s);
+    vmn = _mm256_min_epi32(vmn, s);
+  }
+  int32_t mx = hmax8_i32(vmx), mn = hmin8_i32(vmn);
+  for (; k < n; ++k) {
+    const int32_t s = ea[k] + eb[k];
+    align[k] = s;
+    mx = std::max(mx, s);
+    mn = std::min(mn, s);
+  }
+  if (soft >= 65536 ||
+      static_cast<int64_t>(mx) - static_cast<int64_t>(mn) >= 65536) {
+    return false;
+  }
+  // Pass 2: alignments, bands and every wrap-up reduction.
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i neg1 = _mm256_set1_epi32(-1);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i v31 = _mm256_set1_epi32(31);
+  const __m256i vmin32 = _mm256_set1_epi32(INT32_MIN);
+  const __m256i vmxv = _mm256_set1_epi32(mx);
+  const __m256i vsoft = _mm256_set1_epi32(soft);
+  const __m256i vm =
+      sp >= 2 ? _mm256_set1_epi32(static_cast<int32_t>(magic_for(sp)))
+              : _mm256_setzero_si256();
+  __m256i occ_acc = zero, mb_acc = neg1, cnt_acc = zero, mal_acc = vmin32;
+  k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i al = _mm256_sub_epi32(
+        vmxv, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(align + k)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(align + k), al);
+    const __m256i msk = _mm256_cmpgt_epi32(al, vsoft);
+    const __m256i q = sp >= 2 ? divq_u32(al, vm) : al;
+    const __m256i bd = _mm256_blendv_epi8(q, neg1, msk);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(band + k), bd);
+    occ_acc = _mm256_or_si256(
+        occ_acc, _mm256_sllv_epi32(one, _mm256_min_epi32(bd, v31)));
+    mb_acc = _mm256_max_epi32(mb_acc, bd);
+    cnt_acc = _mm256_sub_epi32(cnt_acc, msk);  // masked lanes are -1
+    mal_acc = _mm256_max_epi32(mal_acc, _mm256_blendv_epi8(al, vmin32, msk));
+  }
+  uint32_t occ = static_cast<uint32_t>(hor8_i32(occ_acc));
+  int32_t mb = hmax8_i32(mb_acc);
+  int32_t masked = hsum8_i32(cnt_acc);
+  int32_t mal = hmax8_i32(mal_acc);
+  for (; k < n; ++k) {
+    const int32_t al = mx - align[k];
+    align[k] = al;
+    if (al > soft) {
+      band[k] = -1;
+      ++masked;
+      continue;
+    }
+    const int32_t c = al / sp;
+    band[k] = c;
+    occ |= 1u << std::min(c, 31);
+    mb = std::max(mb, c);
+    mal = std::max(mal, al);
+  }
+  *max_exp = mx;
+  *occupancy = occ;
+  *max_band = mb;
+  *n_masked = masked;
+  *max_align = mal;
+  return true;
+}
+
+void nibble_fused3x3_i16(const int8_t* a, size_t a_stride, const int8_t* b,
+                         size_t b_stride, const int32_t* band,
+                         const int32_t* up, size_t n, int bands, int64_t* sums,
+                         uint32_t* nz) {
+  // Operand planes are only readable through n (bytes past the view are
+  // live neighbor data); short views go through zero-filled staging.
+  __m256i a16[3], b16[3];
+  if (n == kFusedLanes) {
+    for (int i = 0; i < 3; ++i) {
+      a16[i] = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a + static_cast<size_t>(i) * a_stride)));
+      b16[i] = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + static_cast<size_t>(i) * b_stride)));
+    }
+  } else {
+    alignas(16) int8_t abuf[3][kFusedLanes] = {};
+    alignas(16) int8_t bbuf[3][kFusedLanes] = {};
+    for (int i = 0; i < 3; ++i) {
+      std::memcpy(abuf[i], a + static_cast<size_t>(i) * a_stride, n);
+      std::memcpy(bbuf[i], b + static_cast<size_t>(i) * b_stride, n);
+    }
+    for (int i = 0; i < 3; ++i) {
+      a16[i] = _mm256_cvtepi8_epi16(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(abuf[i])));
+      b16[i] = _mm256_cvtepi8_epi16(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(bbuf[i])));
+    }
+  }
+  const __m256i band_lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band));
+  const __m256i band_hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band + 8));
+  const __m256i one32 = _mm256_set1_epi32(1);
+  const __m256i upmul = pack32_16(
+      _mm256_sllv_epi32(one32, _mm256_loadu_si256(
+                                   reinterpret_cast<const __m256i*>(up))),
+      _mm256_sllv_epi32(one32, _mm256_loadu_si256(
+                                   reinterpret_cast<const __m256i*>(up + 8))));
+  const __m256i neg1 = _mm256_set1_epi32(-1);
+  const __m256i live = pack32_16(_mm256_cmpgt_epi32(band_lo, neg1),
+                                 _mm256_cmpgt_epi32(band_hi, neg1));
+  __m256i bm[kMaxBands];
+  for (int c = 0; c < bands; ++c) {
+    bm[c] = pack32_16(_mm256_cmpeq_epi32(band_lo, _mm256_set1_epi32(c)),
+                      _mm256_cmpeq_epi32(band_hi, _mm256_set1_epi32(c)));
+  }
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  const __m256i vzero = _mm256_setzero_si256();
+  uint32_t nzm = 0;
+  for (int i = 0; i < 3; ++i) {
+    // (a << up) * b == (a * b) << up exactly: |a| <= 15, up <= 7 keeps the
+    // shifted factor in int16; the product tops out at 1920 * 15 = 28800.
+    const __m256i ash = _mm256_mullo_epi16(a16[i], upmul);
+    for (int j = 0; j < 3; ++j) {
+      const __m256i p = _mm256_mullo_epi16(ash, b16[j]);
+      const __m256i pl = _mm256_and_si256(p, live);
+      if (!_mm256_testz_si256(pl, pl)) nzm |= 1u << (i * 3 + j);
+      int64_t* s = sums + static_cast<size_t>(i * 3 + j) * kMaxBands;
+      for (int g = 0; g < kMaxBands; g += 4) {
+        if (g >= bands) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + g), vzero);
+          continue;
+        }
+        __m256i r[4];
+        for (int c = 0; c < 4; ++c) {
+          r[c] = g + c < bands
+                     ? _mm256_madd_epi16(_mm256_and_si256(p, bm[g + c]), ones16)
+                     : vzero;
+        }
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(s + g),
+            _mm256_cvtepi32_epi64(red4_i32(r[0], r[1], r[2], r[3])));
+      }
+    }
+  }
+  *nz = nzm;
+}
+
+void serial_fused_i16(const int32_t* v, const uint32_t* mag,
+                      const int32_t* band, size_t n, int bands, int64_t* sums) {
+  static_cast<void>(n);  // serve planes are driver-padded through kFusedLanes
+  const __m256i v16 = pack32_16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + 8)));
+  const __m256i m16 = pack32_16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mag)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mag + 8)));
+  const __m256i band_lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band));
+  const __m256i band_hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(band + 8));
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  __m256i bit[kSerialSteps];
+  for (int t = 0; t < kSerialSteps; ++t) {
+    bit[t] = _mm256_srai_epi16(_mm256_slli_epi16(m16, 15 - t), 15);
+  }
+  for (int c = 0; c < bands; ++c) {
+    const __m256i bmc =
+        pack32_16(_mm256_cmpeq_epi32(band_lo, _mm256_set1_epi32(c)),
+                  _mm256_cmpeq_epi32(band_hi, _mm256_set1_epi32(c)));
+    const __m256i vc = _mm256_and_si256(v16, bmc);
+    int64_t* s = sums + static_cast<size_t>(c) * kSerialSteps;
+    for (int g = 0; g < kSerialSteps; g += 4) {
+      const __m128i t4 = red4_i32(
+          _mm256_madd_epi16(_mm256_and_si256(vc, bit[g + 0]), ones16),
+          _mm256_madd_epi16(_mm256_and_si256(vc, bit[g + 1]), ones16),
+          _mm256_madd_epi16(_mm256_and_si256(vc, bit[g + 2]), ones16),
+          _mm256_madd_epi16(_mm256_and_si256(vc, bit[g + 3]), ones16));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + g),
+                          _mm256_cvtepi32_epi64(t4));
+    }
+  }
+}
+
+int64_t dot_i8(const int8_t* a, const int8_t* b, size_t n) {
+  // int32 lane accumulators are safe up to ~2^22 blocks (madd pairs are
+  // <= 2*225); chunk defensively far below that.
+  int64_t total = 0;
+  size_t k = 0;
+  while (k + 16 <= n) {
+    const size_t chunk_end = std::min(n, k + (size_t{1} << 20));
+    __m256i acc = _mm256_setzero_si256();
+    for (; k + 16 <= chunk_end; k += 16) {
+      const __m256i va = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + k)));
+      const __m256i vb = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + k)));
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+    }
+    total += hsum8_i32(acc);
+  }
+  for (; k < n; ++k) {
+    total += static_cast<int32_t>(a[k]) * static_cast<int32_t>(b[k]);
+  }
+  return total;
+}
+
+int64_t bit_masked_sum_i32(const int32_t* a, const int32_t* b, int t,
+                           size_t n) {
+  // |a| < 2^12 keeps int32 lane accumulators exact up to 2^19 lanes; chunk.
+  const __m128i lsh = _mm_cvtsi32_si128(31 - t);
+  int64_t total = 0;
+  size_t k = 0;
+  while (k + 8 <= n) {
+    const size_t chunk_end = std::min(n, k + (size_t{1} << 18));
+    __m256i acc = _mm256_setzero_si256();
+    for (; k + 8 <= chunk_end; k += 8) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+      const __m256i bit = _mm256_srai_epi32(_mm256_sll_epi32(vb, lsh), 31);
+      acc = _mm256_add_epi32(
+          acc, _mm256_and_si256(
+                   _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k)),
+                   bit));
+    }
+    total += hsum8_i32(acc);
+  }
+  for (; k < n; ++k) {
+    if ((b[k] >> t) & 1) total += a[k];
+  }
+  return total;
+}
+
+}  // namespace avx2
+
+const KernelTable* avx2_kernel_table() {
+  static const KernelTable t = {
+      .sum_minmax_i32 = avx2::sum_minmax_i32,
+      .rsub_i32 = avx2::rsub_i32,
+      .mask_and_band_i32 = avx2::mask_and_band_i32,
+      .serve_shifts_i32 = avx2::serve_shifts_i32,
+      .nibble_band_sums_i32 = avx2::nibble_band_sums_i32,
+      .nibble_band_sums_i64 = avx2::nibble_band_sums_i64,
+      .serial_lanes_i32 = avx2::serial_lanes_i32,
+      .shifted_lanes_i32 = avx2::shifted_lanes_i32,
+      .shifted_lanes_i64 = avx2::shifted_lanes_i64,
+      .serial_band_sums_i32 = avx2::serial_band_sums_i32,
+      .serial_band_sums_i64 = avx2::serial_band_sums_i64,
+      .fp16_diag_products = avx2::fp16_diag_products,
+      .diag_bands_i32 = avx2::diag_bands_i32,
+      .diag_band_sums_planes_i32 = avx2::diag_band_sums_planes_i32,
+      .diag_band_sums_planes_i64 = avx2::diag_band_sums_planes_i64,
+      .ehu_fused_i32 = avx2::ehu_fused_i32,
+      .nibble_fused3x3_i16 = avx2::nibble_fused3x3_i16,
+      .serial_fused_i16 = avx2::serial_fused_i16,
+      .dot_i8 = avx2::dot_i8,
+      .bit_masked_sum_i32 = avx2::bit_masked_sum_i32,
+  };
+  return &t;
+}
+
+}  // namespace mpipu::simd
+
+#else  // !__AVX2__
+
+#include "core/simd/kernels.h"
+
+namespace mpipu::simd {
+const KernelTable* avx2_kernel_table() { return nullptr; }
+}  // namespace mpipu::simd
+
+#endif

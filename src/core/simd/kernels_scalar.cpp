@@ -1,0 +1,320 @@
+// Scalar reference implementations of the SIMD kernel set.  These are the
+// semantics the vector backends must match bit-for-bit; they also back any
+// table entry a vector backend chooses not to implement.
+#include <algorithm>
+
+#include "core/simd/kernels.h"
+
+namespace mpipu::simd {
+namespace scalar {
+
+void sum_minmax_i32(const int32_t* a, const int32_t* b, int32_t* sum, size_t n,
+                    int32_t* mx, int32_t* mn) {
+  int32_t smx = INT32_MIN, smn = INT32_MAX;
+  for (size_t k = 0; k < n; ++k) {
+    const int32_t s = a[k] + b[k];
+    sum[k] = s;
+    smx = std::max(smx, s);
+    smn = std::min(smn, s);
+  }
+  *mx = smx;
+  *mn = smn;
+}
+
+void rsub_i32(int32_t c, const int32_t* x, int32_t* out, size_t n) {
+  for (size_t k = 0; k < n; ++k) out[k] = c - x[k];
+}
+
+void mask_and_band_i32(const int32_t* align, size_t n, int32_t soft, int32_t sp,
+                       int32_t* band, uint8_t* masked) {
+  for (size_t k = 0; k < n; ++k) {
+    const bool m = align[k] > soft;
+    masked[k] = m ? 1 : 0;
+    band[k] = m ? -1 : align[k] / sp;
+  }
+}
+
+void serve_shifts_i32(const int32_t* align, const int32_t* band, size_t n,
+                      int32_t guard, int32_t sp, int single_cycle,
+                      int32_t window, int32_t* serve_band, int32_t* up,
+                      int32_t* down) {
+  for (size_t k = 0; k < n; ++k) {
+    if (band[k] < 0) {  // masked lane
+      serve_band[k] = -1;
+      up[k] = 0;
+      down[k] = 0;
+      continue;
+    }
+    const int32_t local = single_cycle ? std::min(align[k], window)
+                                       : align[k] - band[k] * sp;
+    const int32_t net = guard - local;
+    serve_band[k] = single_cycle ? 0 : band[k];
+    up[k] = net >= 0 ? net : 0;
+    down[k] = net >= 0 ? 0 : -net;
+  }
+}
+
+void nibble_band_sums_i32(const int8_t* pa, const int8_t* pb,
+                          const int32_t* band, const int32_t* up,
+                          const int32_t* down, size_t n, int bands,
+                          int64_t* sums) {
+  static_cast<void>(bands);
+  for (size_t k = 0; k < n; ++k) {
+    if (band[k] < 0) continue;
+    int32_t p = static_cast<int32_t>(pa[k]) * static_cast<int32_t>(pb[k]);
+    p = (p >> down[k]) << up[k];
+    sums[band[k]] += p;
+  }
+}
+
+void nibble_band_sums_i64(const int8_t* pa, const int8_t* pb,
+                          const int32_t* band, const int32_t* up,
+                          const int32_t* down, size_t n, int bands,
+                          int64_t* sums) {
+  static_cast<void>(bands);
+  for (size_t k = 0; k < n; ++k) {
+    if (band[k] < 0) continue;
+    const int32_t p = static_cast<int32_t>(pa[k]) * static_cast<int32_t>(pb[k]);
+    sums[band[k]] += static_cast<int64_t>(p >> down[k]) << up[k];
+  }
+}
+
+void serial_lanes_i32(const int32_t* a_sm, const int32_t* b_sm, size_t n,
+                      uint32_t* mag, int32_t* lane_p) {
+  for (size_t k = 0; k < n; ++k) {
+    const int32_t smb = b_sm[k];
+    mag[k] = static_cast<uint32_t>(smb < 0 ? -smb : smb) << 1;
+    lane_p[k] = smb < 0 ? -a_sm[k] : a_sm[k];
+  }
+}
+
+void shifted_lanes_i32(const int32_t* p, const int32_t* up, const int32_t* down,
+                       size_t n, int32_t* v) {
+  for (size_t k = 0; k < n; ++k) v[k] = (p[k] >> down[k]) << up[k];
+}
+
+void shifted_lanes_i64(const int32_t* p, const int32_t* up, const int32_t* down,
+                       size_t n, int64_t* v) {
+  for (size_t k = 0; k < n; ++k) {
+    v[k] = static_cast<int64_t>(p[k] >> down[k]) << up[k];
+  }
+}
+
+void serial_band_sums_i32(const int32_t* v, const uint32_t* mag, int t,
+                          const int32_t* band, size_t n, int bands,
+                          int64_t* sums) {
+  static_cast<void>(bands);
+  for (size_t k = 0; k < n; ++k) {
+    if (band[k] < 0) continue;
+    if (((mag[k] >> t) & 1u) == 0) continue;
+    sums[band[k]] += v[k];
+  }
+}
+
+void serial_band_sums_i64(const int64_t* v, const uint32_t* mag, int t,
+                          const int32_t* band, size_t n, int bands,
+                          int64_t* sums) {
+  static_cast<void>(bands);
+  for (size_t k = 0; k < n; ++k) {
+    if (band[k] < 0) continue;
+    if (((mag[k] >> t) & 1u) == 0) continue;
+    sums[band[k]] += v[k];
+  }
+}
+
+void fp16_diag_products(const int8_t* a, size_t a_stride, const int8_t* b,
+                        size_t b_stride, size_t n, int16_t* diag,
+                        size_t d_stride) {
+  const int8_t* a0 = a;
+  const int8_t* a1 = a + a_stride;
+  const int8_t* a2 = a + 2 * a_stride;
+  const int8_t* b0 = b;
+  const int8_t* b1 = b + b_stride;
+  const int8_t* b2 = b + 2 * b_stride;
+  for (size_t k = 0; k < n; ++k) {
+    const int16_t x0 = a0[k], x1 = a1[k], x2 = a2[k];
+    const int16_t y0 = b0[k], y1 = b1[k], y2 = b2[k];
+    diag[0 * d_stride + k] = static_cast<int16_t>(x0 * y0);
+    diag[1 * d_stride + k] = static_cast<int16_t>(x0 * y1 + x1 * y0);
+    diag[2 * d_stride + k] = static_cast<int16_t>(x0 * y2 + x1 * y1 + x2 * y0);
+    diag[3 * d_stride + k] = static_cast<int16_t>(x1 * y2 + x2 * y1);
+    diag[4 * d_stride + k] = static_cast<int16_t>(x2 * y2);
+  }
+}
+
+void diag_bands_i32(const int32_t* align, const int32_t* ehu_band, size_t n,
+                    int32_t offs0, int planes, int32_t sp, int32_t guard,
+                    size_t stride, int32_t* band, int32_t* up,
+                    int32_t* max_band, uint32_t* occupancy) {
+  int32_t mb = -1;
+  uint32_t occ = 0;
+  for (int s = 0; s < planes; ++s) {
+    const int32_t offs = offs0 - 4 * s;
+    int32_t* bd = band + static_cast<size_t>(s) * stride;
+    int32_t* u = up + static_cast<size_t>(s) * stride;
+    for (size_t k = 0; k < n; ++k) {
+      if (ehu_band[k] < 0) {
+        bd[k] = -1;
+        u[k] = 0;
+        continue;
+      }
+      const int32_t shift = align[k] + offs;
+      const int32_t c = shift / sp;
+      bd[k] = c;
+      u[k] = guard - (shift - c * sp);
+      mb = std::max(mb, c);
+      occ |= 1u << std::min(c, 31);
+    }
+  }
+  *max_band = mb;
+  *occupancy = occ;
+}
+
+void diag_band_sums_planes_i32(const int16_t* d, const int32_t* band,
+                               const int32_t* up, size_t stride, int planes,
+                               size_t n, int bands, int64_t* sums) {
+  for (int c = 0; c < bands; ++c) sums[c] = 0;
+  for (int s = 0; s < planes; ++s) {
+    const size_t off = static_cast<size_t>(s) * stride;
+    for (size_t k = 0; k < n; ++k) {
+      if (band[off + k] < 0) continue;
+      sums[band[off + k]] += static_cast<int32_t>(d[off + k]) << up[off + k];
+    }
+  }
+}
+
+void diag_band_sums_planes_i64(const int16_t* d, const int32_t* band,
+                               const int32_t* up, size_t stride, int planes,
+                               size_t n, int bands, int64_t* sums) {
+  for (int c = 0; c < bands; ++c) sums[c] = 0;
+  for (int s = 0; s < planes; ++s) {
+    const size_t off = static_cast<size_t>(s) * stride;
+    for (size_t k = 0; k < n; ++k) {
+      if (band[off + k] < 0) continue;
+      sums[band[off + k]] += static_cast<int64_t>(d[off + k]) << up[off + k];
+    }
+  }
+}
+
+bool ehu_fused_i32(const int32_t* ea, const int32_t* eb, size_t n, int32_t soft,
+                   int32_t sp, int32_t* align, int32_t* band, int32_t* max_exp,
+                   uint32_t* occupancy, int32_t* max_band, int32_t* n_masked,
+                   int32_t* max_align) {
+  int32_t mx = INT32_MIN, mn = INT32_MAX;
+  for (size_t k = 0; k < n; ++k) {
+    const int32_t s = ea[k] + eb[k];
+    mx = std::max(mx, s);
+    mn = std::min(mn, s);
+  }
+  if (soft >= 65536 ||
+      static_cast<int64_t>(mx) - static_cast<int64_t>(mn) >= 65536) {
+    return false;
+  }
+  uint32_t occ = 0;
+  int32_t mb = -1, masked = 0, mal = INT32_MIN;
+  for (size_t k = 0; k < n; ++k) {
+    const int32_t al = mx - (ea[k] + eb[k]);
+    align[k] = al;
+    if (al > soft) {
+      band[k] = -1;
+      ++masked;
+      continue;
+    }
+    const int32_t c = al / sp;
+    band[k] = c;
+    occ |= 1u << std::min(c, 31);
+    mb = std::max(mb, c);
+    mal = std::max(mal, al);
+  }
+  *max_exp = mx;
+  *occupancy = occ;
+  *max_band = mb;
+  *n_masked = masked;
+  *max_align = mal;
+  return true;
+}
+
+void nibble_fused3x3_i16(const int8_t* a, size_t a_stride, const int8_t* b,
+                         size_t b_stride, const int32_t* band,
+                         const int32_t* up, size_t n, int bands, int64_t* sums,
+                         uint32_t* nz) {
+  static_cast<void>(bands);
+  uint32_t nzm = 0;
+  for (int i = 0; i < 3; ++i) {
+    const int8_t* pa = a + static_cast<size_t>(i) * a_stride;
+    for (int j = 0; j < 3; ++j) {
+      const int8_t* pb = b + static_cast<size_t>(j) * b_stride;
+      int64_t* s = sums + static_cast<size_t>(i * 3 + j) * kMaxBands;
+      for (int c = 0; c < kMaxBands; ++c) s[c] = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (band[k] < 0) continue;
+        const int32_t p =
+            static_cast<int32_t>(pa[k]) * static_cast<int32_t>(pb[k]);
+        if (p != 0) nzm |= 1u << (i * 3 + j);
+        s[band[k]] += p << up[k];
+      }
+    }
+  }
+  *nz = nzm;
+}
+
+void serial_fused_i16(const int32_t* v, const uint32_t* mag,
+                      const int32_t* band, size_t n, int bands, int64_t* sums) {
+  for (int c = 0; c < bands; ++c) {
+    for (int t = 0; t < kSerialSteps; ++t) sums[c * kSerialSteps + t] = 0;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (band[k] < 0) continue;
+    int64_t* s = sums + static_cast<size_t>(band[k]) * kSerialSteps;
+    for (int t = 0; t < kSerialSteps; ++t) {
+      if ((mag[k] >> t) & 1u) s[t] += v[k];
+    }
+  }
+}
+
+int64_t dot_i8(const int8_t* a, const int8_t* b, size_t n) {
+  int64_t s = 0;
+  for (size_t k = 0; k < n; ++k) {
+    s += static_cast<int32_t>(a[k]) * static_cast<int32_t>(b[k]);
+  }
+  return s;
+}
+
+int64_t bit_masked_sum_i32(const int32_t* a, const int32_t* b, int t,
+                           size_t n) {
+  int64_t s = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if ((b[k] >> t) & 1) s += a[k];
+  }
+  return s;
+}
+
+}  // namespace scalar
+
+const KernelTable* scalar_kernel_table() {
+  static const KernelTable t = {
+      .sum_minmax_i32 = scalar::sum_minmax_i32,
+      .rsub_i32 = scalar::rsub_i32,
+      .mask_and_band_i32 = scalar::mask_and_band_i32,
+      .serve_shifts_i32 = scalar::serve_shifts_i32,
+      .nibble_band_sums_i32 = scalar::nibble_band_sums_i32,
+      .nibble_band_sums_i64 = scalar::nibble_band_sums_i64,
+      .serial_lanes_i32 = scalar::serial_lanes_i32,
+      .shifted_lanes_i32 = scalar::shifted_lanes_i32,
+      .shifted_lanes_i64 = scalar::shifted_lanes_i64,
+      .serial_band_sums_i32 = scalar::serial_band_sums_i32,
+      .serial_band_sums_i64 = scalar::serial_band_sums_i64,
+      .fp16_diag_products = scalar::fp16_diag_products,
+      .diag_bands_i32 = scalar::diag_bands_i32,
+      .diag_band_sums_planes_i32 = scalar::diag_band_sums_planes_i32,
+      .diag_band_sums_planes_i64 = scalar::diag_band_sums_planes_i64,
+      .ehu_fused_i32 = scalar::ehu_fused_i32,
+      .nibble_fused3x3_i16 = scalar::nibble_fused3x3_i16,
+      .serial_fused_i16 = scalar::serial_fused_i16,
+      .dot_i8 = scalar::dot_i8,
+      .bit_masked_sum_i32 = scalar::bit_masked_sum_i32,
+  };
+  return &t;
+}
+
+}  // namespace mpipu::simd

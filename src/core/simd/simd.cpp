@@ -1,0 +1,90 @@
+// Backend selection and dispatch for the SIMD kernel layer (see simd.h).
+#include "core/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/simd/kernels.h"
+
+namespace mpipu::simd {
+namespace {
+
+const KernelTable* table_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_kernel_table();
+    case Backend::kAvx2:
+      return avx2_kernel_table();
+    case Backend::kNeon:
+      return neon_kernel_table();
+  }
+  return nullptr;
+}
+
+/// Startup choice: the MPIPU_KERNEL environment variable if it names a
+/// compiled-in backend (unknown or unavailable names fall through to auto),
+/// otherwise the best vector backend this binary carries.
+Backend select_default() {
+  if (const char* env = std::getenv("MPIPU_KERNEL")) {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "avx2") == 0 && avx2_kernel_table() != nullptr) {
+      return Backend::kAvx2;
+    }
+    if (std::strcmp(env, "neon") == 0 && neon_kernel_table() != nullptr) {
+      return Backend::kNeon;
+    }
+    // "auto" or unrecognized: fall through.
+  }
+  if (avx2_kernel_table() != nullptr) return Backend::kAvx2;
+  if (neon_kernel_table() != nullptr) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+Backend default_backend() {
+  static const Backend b = select_default();
+  return b;
+}
+
+std::atomic<Backend>& active_slot() {
+  static std::atomic<Backend> slot{default_backend()};
+  return slot;
+}
+
+}  // namespace
+
+Backend active_backend() {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+const KernelTable& kernels() { return *table_for(active_backend()); }
+
+const KernelTable* kernels_for(Backend b) { return table_for(b); }
+
+bool backend_compiled(Backend b) { return table_for(b) != nullptr; }
+
+bool force_backend(Backend b) {
+  if (table_for(b) == nullptr) return false;
+  active_slot().store(b, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_backend() {
+  active_slot().store(default_backend(), std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+const char* backend_name() { return backend_name(active_backend()); }
+
+}  // namespace mpipu::simd

@@ -1,0 +1,230 @@
+// Portable SIMD kernels for the prepared-operand serve loops.
+//
+// The bit-accurate scheme models (core/ipu.cpp, core/serial_ipu.cpp,
+// core/spatial_ipu.h) keep their scalar serve loops verbatim as the oracle;
+// this layer provides drop-in vector kernels that compute the exact same
+// integer sums, shifts and band assignments -- byte-identical outputs,
+// stats and cycle counts -- just faster.  Three backends:
+//
+//   * scalar -- plain-C++ reference implementations, always available; also
+//     the oracle the equality tests (tests/test_simd_kernels.cpp) pin the
+//     vector backends against.
+//   * avx2   -- x86-64, compiled only when the build enables -march=native
+//     (the MPIPU_NATIVE CMake gate) on an AVX2-capable host.
+//   * neon   -- AArch64, compiled under the same gate on ARM hosts.
+//
+// Backend selection happens once at startup (best compiled-in backend) and
+// can be overridden by the MPIPU_KERNEL environment variable
+// ("scalar"/"avx2"/"neon"/"auto") or programmatically via force_backend()
+// (the hook the differential tests use to run both backends in one
+// process).  When the active backend is kScalar the schemes take their
+// scalar oracle paths and this layer is never consulted for values.
+//
+// PADDING / ALIGNMENT CONTRACT -- what core/prepared.h guarantees:
+//
+//   * prepared nibble/digit data is plane-major (one contiguous plane per
+//     nibble lane), with plane strides rounded up to kPreparedPlanePad (32)
+//     elements, so plane starts sit on 32-byte boundaries relative to the
+//     buffer base;
+//   * the pad tail [size, stride) of every plane is zero-filled;
+//   * views may window into the middle of a tensor (conv chunking), in
+//     which case the bytes past view.n are LIVE neighbor data, not pad.
+//
+// Kernels therefore process whole vectors only below the view length and
+// finish with a scalar tail -- they never read past `n` on caller-provided
+// planes, so the zero pads are a layout/alignment guarantee, not a
+// correctness dependency.
+//
+// FUSED WHOLE-OP KERNELS -- the serve loops issue one kernel call per op
+// where possible (ops are small -- typically n_inputs <= 16 lanes -- so
+// per-call fixed costs dominate the emulation wall clock).  The fused
+// kernels additionally require their integer inputs to fit 16-bit lanes
+// (the drivers check the config-derived bounds before dispatching) and,
+// for the band-sum kernels, that the driver-owned serve planes are padded
+// to kFusedLanes entries (band pad -1, shift/value pads 0).  Operand
+// planes are still never read past n: the vector backends stage short
+// views through zero-filled local buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpipu::simd {
+
+/// Serve-band cap for the vector band-sum kernels: one vector accumulator
+/// per band, so ops needing more bands than this fall back to the scalar
+/// oracle (bit-identical either way; alignment spreads that wide are rare).
+inline constexpr int kMaxBands = 8;
+
+/// Lane capacity of the fused whole-op band-sum kernels: one op fits one
+/// 16-bit-lane vector register.  Ops with more lanes use the per-stage
+/// kernels instead (bit-identical either way).
+inline constexpr size_t kFusedLanes = 16;
+
+/// Bit steps of the serial scheme (11 magnitude bits + 1 pad); the fused
+/// serial kernel hard-codes this many per-step sums.
+inline constexpr int kSerialSteps = 12;
+
+enum class Backend { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Function-pointer table of every kernel, one instance per backend.  The
+/// scheme hot loops fetch the active table once per op; entries a vector
+/// backend does not implement point at the scalar reference functions.
+struct KernelTable {
+  // --- EHU alignment stages (core/ehu.cpp, prepared exponent planes) ---
+  /// sum[k] = a[k] + b[k]; *mx / *mn = max / min over k.  n >= 1.
+  void (*sum_minmax_i32)(const int32_t* a, const int32_t* b, int32_t* sum,
+                         size_t n, int32_t* mx, int32_t* mn);
+  /// out[k] = c - x[k].
+  void (*rsub_i32)(int32_t c, const int32_t* x, int32_t* out, size_t n);
+  /// Stages 4-5 per lane: masked[k] = align[k] > soft;
+  /// band[k] = masked ? -1 : align[k] / sp.
+  /// Exact for 0 <= align[k] < 65536 and 1 <= sp < 65536 (caller checks).
+  void (*mask_and_band_i32)(const int32_t* align, size_t n, int32_t soft,
+                            int32_t sp, int32_t* band, uint8_t* masked);
+
+  // --- serve-loop constant planes (temporal + serial schemes) ---
+  /// serve_band[k] = -1 for masked lanes (band[k] < 0), else 0 in
+  /// single-cycle mode or band[k] in MC mode; up/down[k] = the split net
+  /// window shift max(net, 0) / max(-net, 0), zero on masked lanes.
+  void (*serve_shifts_i32)(const int32_t* align, const int32_t* band, size_t n,
+                           int32_t guard, int32_t sp, int single_cycle,
+                           int32_t window, int32_t* serve_band, int32_t* up,
+                           int32_t* down);
+
+  // --- temporal scheme: per-band adder-tree sums of one nibble iteration ---
+  /// sums[c] += sum over k with band[k]==c of
+  ///            ((int32)pa[k]*pb[k] >> down[k]) << up[k].
+  /// _i32: every partial sum fits int32 (tree_bits <= 31).  bands <= kMaxBands.
+  void (*nibble_band_sums_i32)(const int8_t* pa, const int8_t* pb,
+                               const int32_t* band, const int32_t* up,
+                               const int32_t* down, size_t n, int bands,
+                               int64_t* sums);
+  void (*nibble_band_sums_i64)(const int8_t* pa, const int8_t* pb,
+                               const int32_t* band, const int32_t* up,
+                               const int32_t* down, size_t n, int bands,
+                               int64_t* sums);
+
+  // --- serial scheme ---
+  /// mag[k] = |b_sm[k]| << 1 (the padded weight magnitude);
+  /// lane_p[k] = b_sm[k] < 0 ? -a_sm[k] : a_sm[k].
+  void (*serial_lanes_i32)(const int32_t* a_sm, const int32_t* b_sm, size_t n,
+                           uint32_t* mag, int32_t* lane_p);
+  /// v[k] = (p[k] >> down[k]) << up[k], precomputed once per op.
+  void (*shifted_lanes_i32)(const int32_t* p, const int32_t* up,
+                            const int32_t* down, size_t n, int32_t* v);
+  void (*shifted_lanes_i64)(const int32_t* p, const int32_t* up,
+                            const int32_t* down, size_t n, int64_t* v);
+  /// sums[c] += sum over k with band[k]==c and bit t of mag[k] set of v[k].
+  void (*serial_band_sums_i32)(const int32_t* v, const uint32_t* mag, int t,
+                               const int32_t* band, size_t n, int bands,
+                               int64_t* sums);
+  void (*serial_band_sums_i64)(const int64_t* v, const uint32_t* mag, int t,
+                               const int32_t* band, size_t n, int bands,
+                               int64_t* sums);
+
+  // --- spatial scheme ---
+  /// Diagonal pre-sums of the 3x3 FP16 nibble products:
+  /// diag[s*d_stride + k] = sum over i+j==s of a_i[k] * b_j[k], s in [0, 5).
+  /// |d| <= 3*225 fits int16.  a/b are plane-major nibble bases with the
+  /// given strides.
+  void (*fp16_diag_products)(const int8_t* a, size_t a_stride, const int8_t* b,
+                             size_t b_stride, size_t n, int16_t* diag,
+                             size_t d_stride);
+  /// All `planes` per-diagonal band/up planes in one call (MC mode), plane
+  /// s using offs_s = offs0 - 4*s: masked lanes (ehu_band[k] < 0) get band
+  /// -1 / up 0; else shift = align[k] + offs_s, band = shift / sp,
+  /// up = guard - (shift - band*sp).  Exact for shift < 65536.  Also
+  /// returns the wrap-up reductions over unmasked lane products:
+  /// *max_band = max band (-1 when every lane is masked) and *occupancy =
+  /// OR of 1u << min(band, 31).
+  void (*diag_bands_i32)(const int32_t* align, const int32_t* ehu_band,
+                         size_t n, int32_t offs0, int planes, int32_t sp,
+                         int32_t guard, size_t stride, int32_t* band,
+                         int32_t* up, int32_t* max_band, uint32_t* occupancy);
+  /// Whole-op spatial serve sums: for every plane s in [0, planes),
+  /// sums[c] accumulates sum over k with band_s[k]==c of
+  /// (int32)d_s[k] << up_s[k]; plane s of d/band/up starts at s*stride.
+  /// SET semantics: writes sums[0, bands) (callers skip the pre-zeroing).
+  void (*diag_band_sums_planes_i32)(const int16_t* d, const int32_t* band,
+                                    const int32_t* up, size_t stride,
+                                    int planes, size_t n, int bands,
+                                    int64_t* sums);
+  void (*diag_band_sums_planes_i64)(const int16_t* d, const int32_t* band,
+                                    const int32_t* up, size_t stride,
+                                    int planes, size_t n, int bands,
+                                    int64_t* sums);
+
+  // --- fused whole-op kernels (see the header comment) ---
+  /// Fused EHU stages 1-5 on prepared exponent planes, one call per op:
+  /// align[k] = mx - (ea[k] + eb[k]) with mx = max product exponent;
+  /// band[k] = -1 where align[k] > soft, else align[k] / sp.  Also returns
+  /// every wrap-up reduction the serve drivers need: *max_exp = mx,
+  /// *occupancy = OR over unmasked lanes of 1u << min(band, 31),
+  /// *max_band = max unmasked band (-1 when all lanes are masked),
+  /// *n_masked = masked-lane count, *max_align = max unmasked alignment
+  /// (INT32_MIN when all lanes are masked).  Returns false -- outputs
+  /// unspecified -- when soft >= 2^16 or mx - mn >= 2^16 (the magic-divide
+  /// bound); callers then fall back to the scalar oracle.  n >= 1.
+  bool (*ehu_fused_i32)(const int32_t* ea, const int32_t* eb, size_t n,
+                        int32_t soft, int32_t sp, int32_t* align,
+                        int32_t* band, int32_t* max_exp, uint32_t* occupancy,
+                        int32_t* max_band, int32_t* n_masked,
+                        int32_t* max_align);
+  /// All nine temporal FP16 nibble iterations of one op in a single call:
+  /// sums[(i*3 + j)*kMaxBands + c] = sum over k with band[k]==c of
+  /// ((int32)a_i[k] * b_j[k]) << up[k], and bit (i*3 + j) of *nz is set
+  /// when any lane with band[k] >= 0 has a_i[k] != 0 && b_j[k] != 0 (the
+  /// skip-zero-iteration predicate).  SET semantics on all kMaxBands sums
+  /// slots per iteration (slots at c >= bands are zeroed).  Preconditions
+  /// (the temporal driver checks): MC serve
+  /// shifts (every down shift is zero), 0 <= up[k] <= 7 so each shifted
+  /// product fits int16 (|a*b| <= 225, 225 << 7 < 2^15), n <= kFusedLanes,
+  /// bands <= kMaxBands, band/up readable and padded through kFusedLanes.
+  void (*nibble_fused3x3_i16)(const int8_t* a, size_t a_stride,
+                              const int8_t* b, size_t b_stride,
+                              const int32_t* band, const int32_t* up, size_t n,
+                              int bands, int64_t* sums, uint32_t* nz);
+  /// All kSerialSteps serial bit-steps of one op in a single call:
+  /// sums[c*kSerialSteps + t] = sum over k with band[k]==c and bit t of
+  /// mag[k] set of v[k].  SET semantics for c < bands.  Preconditions:
+  /// |v[k]| < 2^15 (the driver checks guard <= 4: |v| <= 2047 << 4),
+  /// mag[k] < 2^13, n <= kFusedLanes, bands <= kMaxBands, v/mag/band
+  /// readable and padded through kFusedLanes (v/mag pads 0, band pads -1).
+  void (*serial_fused_i16)(const int32_t* v, const uint32_t* mag,
+                           const int32_t* band, size_t n, int bands,
+                           int64_t* sums);
+
+  // --- INT modes ---
+  /// Exact dot product of two int8 digit planes (|a*b| <= 225 per lane).
+  int64_t (*dot_i8)(const int8_t* a, const int8_t* b, size_t n);
+  /// sum of a[k] over lanes whose bit t of b[k] is set; |a[k]| < 2^12.
+  int64_t (*bit_masked_sum_i32)(const int32_t* a, const int32_t* b, int t,
+                                size_t n);
+};
+
+/// The backend all scheme hot loops currently dispatch on.
+Backend active_backend();
+
+/// Kernel table of the active backend (kernels_for(active_backend())).
+const KernelTable& kernels();
+
+/// Table for a specific backend; nullptr when not compiled into this build.
+const KernelTable* kernels_for(Backend b);
+
+/// True when `b`'s kernels are compiled into this binary.
+bool backend_compiled(Backend b);
+
+/// Force the active backend (tests / debugging).  Returns false -- and
+/// leaves the selection unchanged -- when `b` is not compiled in.
+bool force_backend(Backend b);
+
+/// Reset to the startup selection (best compiled backend, unless the
+/// MPIPU_KERNEL environment variable pinned one).
+void reset_backend();
+
+const char* backend_name(Backend b);
+/// Name of the active backend ("scalar" / "avx2" / "neon").
+const char* backend_name();
+
+}  // namespace mpipu::simd

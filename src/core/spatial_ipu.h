@@ -29,6 +29,7 @@
 #include "core/nibble.h"
 #include "core/prepared.h"
 #include "core/reference.h"
+#include "core/simd/simd.h"
 #include "softfloat/softfloat.h"
 
 namespace mpipu {
@@ -87,6 +88,17 @@ class SpatialIpu {
   template <typename TreeInt>
   int run_prepared_fp16(const PreparedFp16View& a, const PreparedFp16View& b);
 
+  /// Vectorized serve loop (core/simd), MC mode only: the combined shift of
+  /// lane product (k, i, j) depends only on (k, i + j), and in MC mode the
+  /// net window shift is always a left shift (local < sp <= guard + 1),
+  /// which distributes over addition -- so the 9 products collapse into 5
+  /// diagonal pre-sums served band-by-band.  Single-cycle mode right-shifts
+  /// (truncates) per product and stays on the scalar oracle.  kNarrow
+  /// selects int32 vector accumulators (tree bound <= 31 bits).
+  template <bool kNarrow>
+  int run_prepared_fp16_simd(const PreparedFp16View& a,
+                             const PreparedFp16View& b);
+
   SpatialIpuConfig cfg_;
   Accumulator acc_;
   SpatialIpuStats stats_;
@@ -99,6 +111,12 @@ class SpatialIpu {
   std::vector<int32_t> entry_cursor_;
   std::vector<int32_t> entry_p_;
   std::vector<int32_t> entry_shift_;
+  // Vectorized-path scratch: 5 diagonal product planes and their per-lane
+  // serve band / up-shift planes, plane-major with a shared stride, plus
+  // the fused-EHU align/band planes.
+  std::vector<int16_t> diag_;
+  std::vector<int32_t> dband_, dup_;
+  std::vector<int32_t> falign_, fband_;
 };
 
 // ---------------------------------------------------------------------------
@@ -251,12 +269,10 @@ int SpatialIpu::run_prepared_fp16(const PreparedFp16View& a,
   entry_begin_.assign(static_cast<size_t>(bands) + 1, 0);
   for (size_t k = 0; k < n; ++k) {
     if (ehu_.masked[k]) continue;
-    const int8_t* na = a.nib + k * static_cast<size_t>(kn);
-    const int8_t* nb = b.nib + k * static_cast<size_t>(kn);
     for (int i = 0; i < kn; ++i) {
-      if (na[i] == 0) continue;
+      if (a.nib_plane(i)[k] == 0) continue;
       for (int j = 0; j < kn; ++j) {
-        if (nb[j] == 0) continue;
+        if (b.nib_plane(j)[k] == 0) continue;
         const int shift = ehu_.align[k] + offs(i, j);
         const int c = single_cycle ? 0 : shift / sp;
         ++entry_begin_[static_cast<size_t>(c) + 1];
@@ -272,17 +288,17 @@ int SpatialIpu::run_prepared_fp16(const PreparedFp16View& a,
   entry_shift_.resize(total);
   for (size_t k = 0; k < n; ++k) {
     if (ehu_.masked[k]) continue;
-    const int8_t* na = a.nib + k * static_cast<size_t>(kn);
-    const int8_t* nb = b.nib + k * static_cast<size_t>(kn);
     for (int i = 0; i < kn; ++i) {
-      if (na[i] == 0) continue;
+      const int8_t nai = a.nib_plane(i)[k];
+      if (nai == 0) continue;
       for (int j = 0; j < kn; ++j) {
-        if (nb[j] == 0) continue;
+        const int8_t nbj = b.nib_plane(j)[k];
+        if (nbj == 0) continue;
         const int shift = ehu_.align[k] + offs(i, j);
         const int c = single_cycle ? 0 : shift / sp;
         const int local = single_cycle ? std::min(shift, w) : shift - c * sp;
         const auto slot = static_cast<size_t>(entry_cursor_[static_cast<size_t>(c)]++);
-        entry_p_[slot] = static_cast<int32_t>(na[i]) * static_cast<int32_t>(nb[j]);
+        entry_p_[slot] = static_cast<int32_t>(nai) * static_cast<int32_t>(nbj);
         entry_shift_[slot] = guard - local;
       }
     }
@@ -319,6 +335,91 @@ int SpatialIpu::run_prepared_fp16(const PreparedFp16View& a,
   return cycles;
 }
 
+template <bool kNarrow>
+int SpatialIpu::run_prepared_fp16_simd(const PreparedFp16View& a,
+                                       const PreparedFp16View& b) {
+  const size_t n = a.n;
+  constexpr FpFormat F = kFp16Format;
+  constexpr int kn = fp_nibble_count(F);
+  constexpr int z = fp_pad_bits(F);
+  constexpr int top_weight = 2 * (4 * (kn - 1) - z);
+  constexpr int kDiags = 2 * kn - 1;
+  const simd::KernelTable& K = simd::kernels();
+
+  if (n == 0) return run_prepared_fp16<int64_t>(a, b);
+
+  const int guard = cfg_.window_guard();
+  const int sp = cfg_.safe_precision();
+
+  falign_.resize(n);
+  fband_.resize(n);
+  int32_t max_exp, ehu_max_band, n_masked, max_align;
+  uint32_t ehu_occ;
+  if (!K.ehu_fused_i32(a.exp, b.exp, n, cfg_.software_precision,
+                       std::max(sp, 1), falign_.data(), fband_.data(),
+                       &max_exp, &ehu_occ, &ehu_max_band, &n_masked,
+                       &max_align)) {
+    return run_prepared_fp16<int64_t>(a, b);
+  }
+
+  // Combined shift of lane product (k, i, j) = align[k] + offs(i + j) with
+  // offs(s) = top_weight + 2z - 4s, so band and up-shift are per (k, s).
+  // One kernel call produces all kDiags planes plus the band span and
+  // occupancy exactly as the oracle computes them per product: every
+  // diagonal has at least one (i, j), and band(k, i, j) depends only on
+  // (k, s), so the occupied set over (k, s) is identical.
+  const size_t stride = prepared_plane_stride(n);
+  dband_.resize(kDiags * stride);
+  dup_.resize(kDiags * stride);
+  int32_t dmax = -1;
+  uint32_t docc = 0;
+  K.diag_bands_i32(falign_.data(), fband_.data(), n, top_weight + 2 * z,
+                   kDiags, sp, guard, stride, dband_.data(), dup_.data(),
+                   &dmax, &docc);
+  const int max_band = std::max(static_cast<int>(dmax), 0);
+  const uint64_t occupied = uint64_t{docc} | 1;
+  const int bands = max_band + 1;
+  if (bands > simd::kMaxBands) return run_prepared_fp16<int64_t>(a, b);
+
+  diag_.resize(kDiags * stride);
+  K.fp16_diag_products(a.nib, a.nib_stride, b.nib, b.nib_stride, n,
+                       diag_.data(), stride);
+
+  int64_t sums[simd::kMaxBands];
+  if constexpr (kNarrow) {
+    K.diag_band_sums_planes_i32(diag_.data(), dband_.data(), dup_.data(),
+                                stride, kDiags, n, bands, sums);
+  } else {
+    K.diag_band_sums_planes_i64(diag_.data(), dband_.data(), dup_.data(),
+                                stride, kDiags, n, bands, sums);
+  }
+
+  const int base_rescale =
+      top_weight - 2 * F.man_bits - guard + acc_.config().frac_bits;
+  const bool fast = acc_.fast64_ok(kNarrow ? 31 : 62, base_rescale);
+  for (int c = 0; c < bands; ++c) {
+    const int rescale = base_rescale - c * sp;
+    if (fast) {
+      acc_.add_tree64(sums[c], rescale, max_exp);
+      continue;
+    }
+    const auto tree128 = static_cast<int128>(sums[c]);
+    acc_.add(rescale >= 0 ? shl(tree128, rescale) : asr(tree128, -rescale),
+             max_exp);
+  }
+
+  // bands <= kMaxBands here, so max_band < 63 and the occupancy kernel's
+  // min(band, 31) clamp never reaches the bits this mask keeps.
+  const int cycles =
+      cfg_.skip_empty_bands
+          ? __builtin_popcountll(occupied & ((uint64_t{1} << (max_band + 1)) - 1))
+          : bands;
+  ++stats_.fp_ops;
+  stats_.cycles += cycles;
+  if (cycles > 1) ++stats_.multi_cycle_ops;
+  return cycles;
+}
+
 inline int SpatialIpu::fp16_accumulate_prepared(const PreparedFp16View& a,
                                                 const PreparedFp16View& b) {
   assert(a.n == b.n);
@@ -330,6 +431,14 @@ inline int SpatialIpu::fp16_accumulate_prepared(const PreparedFp16View& a,
       ceil_log2(std::max(cfg_.n_inputs, 1) *
                 multipliers_per_input<kFp16Format>()) +
       1;
+  // The vector path needs MC mode (net shifts are then pure left shifts,
+  // which distribute over the diagonal pre-sums) and exact magic-multiply
+  // banding (combined shift < 2^16 for every unmasked lane).
+  if (simd::active_backend() != simd::Backend::kScalar && cfg_.multi_cycle &&
+      cfg_.software_precision < 65000) {
+    if (tree_bits <= 31) return run_prepared_fp16_simd<true>(a, b);
+    if (tree_bits <= 62) return run_prepared_fp16_simd<false>(a, b);
+  }
   return tree_bits <= 62 ? run_prepared_fp16<int64_t>(a, b)
                          : run_prepared_fp16<int128>(a, b);
 }
