@@ -128,8 +128,7 @@ struct ConcurrentResult {
   int requests = 0;
   double total_seconds = 0.0;
   double requests_per_sec = 0.0;
-  double latency_mean_s = 0.0;
-  double latency_p95_s = 0.0;
+  bench::LatencySummary latency;
   bool bit_identical = true;
 };
 
@@ -171,14 +170,7 @@ ConcurrentResult run_concurrent(const CompiledModel& compiled,
 
   std::vector<double> all;
   for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-  std::sort(all.begin(), all.end());
-  double sum = 0.0;
-  for (double v : all) sum += v;
-  r.latency_mean_s = sum / static_cast<double>(all.size());
-  // Nearest-rank p95: ceil(0.95 * n) - 1 (clamped); for tiny smoke samples
-  // this degenerates to the max, which nearest-rank defines it to be.
-  const size_t p95_rank = (all.size() * 95 + 99) / 100;
-  r.latency_p95_s = all[p95_rank == 0 ? 0 : p95_rank - 1];
+  r.latency = bench::summarize_latencies(std::move(all));
   for (char o : ok) r.bit_identical = r.bit_identical && o != 0;
   return r;
 }
@@ -279,11 +271,11 @@ int main(int argc, char** argv) {
 
   if (!graph_only) {
     std::printf("\nconcurrent serving (one CompiledModel, %d host threads, %d "
-                "requests): %.1f req/s, latency mean %.4f s, p95 %.4f s, "
-                "bit-identical vs serial: %s\n",
+                "requests): %.1f req/s, latency mean %.4f s, p50 %.4f s, "
+                "p95 %.4f s, p99 %.4f s, bit-identical vs serial: %s\n",
                 conc.threads, conc.requests, conc.requests_per_sec,
-                conc.latency_mean_s, conc.latency_p95_s,
-                conc.bit_identical ? "yes" : "NO");
+                conc.latency.mean_s, conc.latency.p50_s, conc.latency.p95_s,
+                conc.latency.p99_s, conc.bit_identical ? "yes" : "NO");
   }
 
   const bool all_identical = graph.bit_identical &&
@@ -326,8 +318,10 @@ int main(int argc, char** argv) {
     cj.set("threads", conc.threads);
     cj.set("requests", conc.requests);
     cj.set("requests_per_sec", conc.requests_per_sec);
-    cj.set("latency_mean_s", conc.latency_mean_s);
-    cj.set("latency_p95_s", conc.latency_p95_s);
+    cj.set("latency_mean_s", conc.latency.mean_s);
+    cj.set("latency_p50_s", conc.latency.p50_s);
+    cj.set("latency_p95_s", conc.latency.p95_s);
+    cj.set("latency_p99_s", conc.latency.p99_s);
     cj.set("bit_identical", conc.bit_identical);
     root.set("concurrent", std::move(cj));
   }

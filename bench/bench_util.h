@@ -7,7 +7,16 @@
 #include <string>
 #include <vector>
 
+#include "common/percentile.h"
+
 namespace mpipu::bench {
+
+// The serving benches' latency digest: the shared nearest-rank
+// implementation (common/percentile.h) re-exported under the bench
+// namespace so every BENCH_*.json reports p50/p95/p99 from one definition.
+using mpipu::LatencySummary;
+using mpipu::percentile_nearest_rank_sorted;
+using mpipu::summarize_latencies;
 
 inline void title(const std::string& t) {
   std::printf("\n================================================================================\n");

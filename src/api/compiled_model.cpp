@@ -330,6 +330,19 @@ void CompiledModel::exec_node(
 
 RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
                              ThreadPool& pool) const {
+  // Per-call scratch: one private datapath per worker slot for single-node
+  // waves (pixel-level parallelism).  The plans themselves are only read.
+  std::vector<std::unique_ptr<Datapath>> units;
+  units.reserve(static_cast<size_t>(pool.size()));
+  for (int slot = 0; slot < pool.size(); ++slot) {
+    units.push_back(make_datapath(spec_.datapath));
+  }
+  return run_with_units(input, opts, pool, units);
+}
+
+RunReport CompiledModel::run_with_units(
+    const Tensor& input, const RunOptions& opts, ThreadPool& pool,
+    std::span<const std::unique_ptr<Datapath>> units) const {
   validate_input(input);
 
   RunReport report;
@@ -337,15 +350,6 @@ RunReport CompiledModel::run(const Tensor& input, const RunOptions& opts,
   report.scheme = scheme_name(spec_.datapath.scheme);
   report.kernel_backend = simd::backend_name();
   report.threads = pool.size();
-
-  // Per-call scratch: one private datapath per worker slot for single-node
-  // waves (pixel-level parallelism).  Fresh units mean per-call stats; the
-  // plans themselves are only read.
-  std::vector<std::unique_ptr<Datapath>> units;
-  units.reserve(static_cast<size_t>(pool.size()));
-  for (int slot = 0; slot < pool.size(); ++slot) {
-    units.push_back(make_datapath(spec_.datapath));
-  }
 
   std::shared_ptr<const std::vector<Tensor>> refs;
   if (opts.compare_reference) refs = reference_chain(input);
@@ -418,10 +422,19 @@ BatchRunReport CompiledModel::run_batch(const std::vector<Tensor>& inputs,
   per_run.with_estimate = false;
   std::optional<NetworkSimResult> est;
 
+  // One set of per-slot datapaths for the whole batch: per-node stats are
+  // before/after deltas, so reuse across inputs is byte-identical to fresh
+  // units while skipping batch_size-1 rounds of scratch construction.
+  std::vector<std::unique_ptr<Datapath>> units;
+  units.reserve(static_cast<size_t>(pool.size()));
+  for (int slot = 0; slot < pool.size(); ++slot) {
+    units.push_back(make_datapath(spec_.datapath));
+  }
+
   BatchRunReport batch;
   batch.runs.reserve(inputs.size());
   for (const Tensor& input : inputs) {
-    batch.runs.push_back(run(input, per_run, pool));
+    batch.runs.push_back(run_with_units(input, per_run, pool, units));
     if (opts.with_estimate) {
       if (!est.has_value()) est = estimate();
       batch.runs.back().estimate = *est;

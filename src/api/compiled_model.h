@@ -163,6 +163,12 @@ class CompiledModel {
   static CompiledModel compile_nodes(std::vector<GraphNode> nodes,
                                      const RunSpec& spec,
                                      const CompileOptions& opts);
+  /// run() with caller-provided per-slot datapath scratch.  run_batch
+  /// builds the units once and reuses them across the whole batch (exact:
+  /// per-node stats are before/after deltas over the units).
+  RunReport run_with_units(
+      const Tensor& input, const RunOptions& opts, ThreadPool& pool,
+      std::span<const std::unique_ptr<Datapath>> units) const;
   void validate_input(const Tensor& input) const;
   std::shared_ptr<const std::vector<Tensor>> reference_chain(
       const Tensor& input) const;

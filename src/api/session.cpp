@@ -27,12 +27,18 @@ CompiledModel Session::compile(const GraphModel& model,
 }
 
 template <typename ModelT>
-const CompiledModel& Session::compiled_for(const ModelT& model, int input_h,
-                                           int input_w) {
+std::shared_ptr<const CompiledModel> Session::compiled_for(const ModelT& model,
+                                                           int input_h,
+                                                           int input_w) {
   // Exact-match lookup via matches(): its field comparisons (name, layer
   // shapes, specs) reject non-matching entries before any weight bytes are
   // touched, and a hit costs one memcmp-grade weight pass -- cheaper than
-  // hashing the weights up front on every run.
+  // hashing the weights up front on every run.  The whole
+  // lookup/rotate/compile/evict sequence holds cache_mu_ so concurrent
+  // first-use runs race safely (the loser re-finds the winner's entry); the
+  // returned shared_ptr keeps the plan alive even if another thread evicts
+  // it before the caller finishes executing.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   for (size_t i = 0; i < compiled_cache_.size(); ++i) {
     const CacheEntry& e = compiled_cache_[i];
     if (e.compiled->input_h() == input_h && e.compiled->input_w() == input_w &&
@@ -44,7 +50,7 @@ const CompiledModel& Session::compiled_for(const ModelT& model, int input_h,
                     compiled_cache_.begin() + static_cast<ptrdiff_t>(i) + 1,
                     compiled_cache_.end());
       }
-      return *compiled_cache_.back().compiled;
+      return compiled_cache_.back().compiled;
     }
   }
   CompileOptions opts;
@@ -58,7 +64,21 @@ const CompiledModel& Session::compiled_for(const ModelT& model, int input_h,
     compiled_cache_.erase(compiled_cache_.begin());
   }
   compiled_cache_.push_back({std::move(compiled)});
-  return *compiled_cache_.back().compiled;
+  return compiled_cache_.back().compiled;
+}
+
+RunReport Session::run_compiled(const CompiledModel& compiled,
+                                const Tensor& input, const RunOptions& opts) {
+  // The shared pool serves one run at a time (parallel_for is not
+  // reentrant).  A concurrent caller finding it busy executes on a private
+  // per-call pool of the same width instead of queueing -- byte-identical
+  // output by thread-count invariance, and spec.threads == 1 (the serving
+  // default) makes the fallback pool threadless and effectively free.
+  std::unique_lock<std::mutex> pool_lock(pool_mu_, std::try_to_lock);
+  if (pool_lock.owns_lock()) {
+    return compiled.run(input, opts, pool_);
+  }
+  return compiled.run(input, opts);
 }
 
 RunReport Session::run(const Model& model, const Tensor& input,
@@ -75,7 +95,7 @@ RunReport Session::run(const Model& model, const Tensor& input,
         " channels but layer '" + model.layers().front().name + "' expects " +
         std::to_string(model.layers().front().filters.cin));
   }
-  return compiled_for(model, input.h, input.w).run(input, opts, pool_);
+  return run_compiled(*compiled_for(model, input.h, input.w), input, opts);
 }
 
 RunReport Session::run(const GraphModel& model, const Tensor& input,
@@ -86,7 +106,7 @@ RunReport Session::run(const GraphModel& model, const Tensor& input,
         "' carries no weights -- shape-only graphs are estimate-only; call "
         "materialize_weights() first");
   }
-  return compiled_for(model, input.h, input.w).run(input, opts, pool_);
+  return run_compiled(*compiled_for(model, input.h, input.w), input, opts);
 }
 
 Tensor Session::reference(const Model& model, const Tensor& input) {

@@ -18,12 +18,20 @@
 // batches never re-pay the weight pipeline) and executed on the Session's
 // shared ThreadPool.
 // Outputs, stats and cycles are byte-identical to pre-split Session runs.
-// Use Session for conversational work -- one caller, ad-hoc models; call
-// Session::compile and hold the CompiledModel yourself for serving --
-// weights prepared once at load time, concurrent reentrant callers.
+//
+// run()/run_batch() are thread-safe: the compile cache is guarded by a
+// mutex (a shared_ptr pins each plan across LRU eviction), and concurrent
+// runs race for the shared pool -- the loser executes on a private
+// per-call pool of the same width, so outputs stay byte-identical either
+// way (thread-count invariance).  Use Session for conversational work --
+// one caller, ad-hoc models; call Session::compile and hold the
+// CompiledModel yourself for serving -- weights prepared once at load
+// time, concurrent reentrant callers -- or put src/serve's ServingRuntime
+// in front for queueing, batching and SLO metrics.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -113,10 +121,15 @@ class Session {
   /// (CompiledModel::matches -- cheap field checks, then the weight bytes)
   /// keyed by model content and input geometry, LRU-evicted.  One template
   /// serves Model and GraphModel; chain and graph entries share the cache
-  /// (matches() never crosses the two).
+  /// (matches() never crosses the two).  Guarded by cache_mu_; returns a
+  /// shared_ptr so a concurrent eviction cannot destroy a plan mid-run.
   template <typename ModelT>
-  const CompiledModel& compiled_for(const ModelT& model, int input_h,
-                                    int input_w);
+  std::shared_ptr<const CompiledModel> compiled_for(const ModelT& model,
+                                                    int input_h, int input_w);
+  /// Execute on the shared pool when it is free, else on a private
+  /// per-call pool of the same width (byte-identical either way).
+  RunReport run_compiled(const CompiledModel& compiled, const Tensor& input,
+                         const RunOptions& opts);
   /// Shared body of the two run_batch overloads (defined in session.cpp;
   /// instantiated only there).
   template <typename ModelT>
@@ -126,9 +139,11 @@ class Session {
 
   RunSpec spec_;
   ThreadPool pool_;
+  std::mutex pool_mu_;  ///< claims the shared pool for one run at a time
   struct CacheEntry {
     std::shared_ptr<const CompiledModel> compiled;
   };
+  std::mutex cache_mu_;
   std::vector<CacheEntry> compiled_cache_;
 };
 

@@ -1,0 +1,405 @@
+#include "serve/serving_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace mpipu::serve {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Latency samples kept for the percentile digest.  A runtime serving past
+/// this simply stops recording samples (counters keep counting); at bench
+/// and test scale the cap is never approached.
+constexpr size_t kMaxLatencySamples = 1u << 20;
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kDeadline: return "deadline";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+Json ServerMetrics::to_json_value() const {
+  Json j = Json::object();
+  j.set("submitted", static_cast<double>(submitted));
+  j.set("completed", static_cast<double>(completed));
+  j.set("shed_queue_full", static_cast<double>(shed_queue_full));
+  j.set("shed_deadline", static_cast<double>(shed_deadline));
+  j.set("shed_shutdown", static_cast<double>(shed_shutdown));
+  j.set("coalesced", static_cast<double>(coalesced));
+  j.set("batches", static_cast<double>(batches));
+  j.set("queue_high_water", static_cast<double>(queue_high_water));
+  j.set("mean_batch_size", mean_batch_size);
+  Json hist = Json::array();
+  for (uint64_t v : batch_size_hist) hist.push(static_cast<double>(v));
+  j.set("batch_size_hist", std::move(hist));
+  j.set("elapsed_s", elapsed_s);
+  j.set("throughput_rps", throughput_rps);
+  Json lat = Json::object();
+  lat.set("count", static_cast<double>(latency.count));
+  lat.set("mean_s", latency.mean_s);
+  lat.set("p50_s", latency.p50_s);
+  lat.set("p95_s", latency.p95_s);
+  lat.set("p99_s", latency.p99_s);
+  lat.set("max_s", latency.max_s);
+  j.set("latency", std::move(lat));
+  return j;
+}
+
+ServingRuntime::ServingRuntime(RunSpec spec, ServerConfig cfg)
+    : spec_(std::move(spec)), cfg_(std::move(cfg)) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.queue_capacity < 1) cfg_.queue_capacity = 1;
+  if (cfg_.max_batch < 1) cfg_.max_batch = 1;
+  if (cfg_.max_models < 1) cfg_.max_models = 1;
+  counters_.batch_size_hist.assign(static_cast<size_t>(cfg_.max_batch) + 1, 0);
+  start_t_ = now_seconds();
+  workers_.reserve(static_cast<size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServingRuntime::~ServingRuntime() { shutdown(Shutdown::kDrain); }
+
+template <typename ModelT>
+ModelHandle ServingRuntime::load_impl(const ModelT& model, int input_h,
+                                      int input_w) {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  for (size_t i = 0; i < models_.size(); ++i) {
+    const LoadedModel& m = models_[i];
+    if (m.compiled->input_h() == input_h && m.compiled->input_w() == input_w &&
+        m.compiled->matches(model)) {
+      // LRU refresh: a re-loaded model moves to the back (eviction takes
+      // the front).
+      if (i + 1 != models_.size()) {
+        std::rotate(models_.begin() + static_cast<ptrdiff_t>(i),
+                    models_.begin() + static_cast<ptrdiff_t>(i) + 1,
+                    models_.end());
+      }
+      return models_.back().handle;
+    }
+  }
+  CompileOptions opts;
+  opts.input_h = input_h;
+  opts.input_w = input_w;
+  // Compile before evicting: a throwing compile must not cost a cached plan.
+  auto compiled = std::make_shared<const CompiledModel>(
+      CompiledModel::compile(model, spec_, opts));
+  if (models_.size() >= cfg_.max_models) {
+    models_.erase(models_.begin());
+  }
+  models_.push_back({next_handle_++, std::move(compiled)});
+  return models_.back().handle;
+}
+
+ModelHandle ServingRuntime::load(const Model& model, int input_h,
+                                 int input_w) {
+  return load_impl(model, input_h, input_w);
+}
+
+ModelHandle ServingRuntime::load(const GraphModel& model, int input_h,
+                                 int input_w) {
+  return load_impl(model, input_h, input_w);
+}
+
+std::shared_ptr<const CompiledModel> ServingRuntime::model(
+    ModelHandle h) const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  for (const LoadedModel& m : models_) {
+    if (m.handle == h) return m.compiled;
+  }
+  throw std::out_of_range("ServingRuntime::model: unknown or evicted handle " +
+                          std::to_string(h));
+}
+
+size_t ServingRuntime::loaded_count() const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  return models_.size();
+}
+
+std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
+                                                const SubmitOptions& opts) {
+  Pending p;
+  p.model = model(h);  // throws out_of_range for a bad handle (caller bug)
+  p.handle = h;
+  p.input = std::move(input);
+  p.enqueue_t = now_seconds();
+  if (opts.timeout_s < std::numeric_limits<double>::infinity()) {
+    p.deadline = p.enqueue_t + opts.timeout_s;
+  }
+  std::future<ServeResult> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.submitted;
+  }
+
+  RejectReason reject = RejectReason::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reject = RejectReason::kShutdown;
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      reject = RejectReason::kQueueFull;
+    } else if (cfg_.per_model_queue_cap > 0) {
+      size_t queued = 0;
+      for (const Pending& q : queue_) {
+        if (q.handle == h) ++queued;
+      }
+      if (queued >= cfg_.per_model_queue_cap) {
+        reject = RejectReason::kQueueFull;
+      }
+    }
+    if (reject == RejectReason::kNone) {
+      queue_.push_back(std::move(p));
+      queue_high_water_ = std::max(queue_high_water_, queue_.size());
+    }
+  }
+  if (reject == RejectReason::kNone) {
+    queue_cv_.notify_one();
+  } else {
+    resolve_rejected(std::move(p), reject);
+  }
+  return fut;
+}
+
+ServeResult ServingRuntime::serve(ModelHandle h, Tensor input,
+                                  const SubmitOptions& opts) {
+  return submit(h, std::move(input), opts).get();
+}
+
+void ServingRuntime::resolve_rejected(Pending&& p, RejectReason reason) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    switch (reason) {
+      case RejectReason::kQueueFull: ++counters_.shed_queue_full; break;
+      case RejectReason::kDeadline: ++counters_.shed_deadline; break;
+      case RejectReason::kShutdown: ++counters_.shed_shutdown; break;
+      case RejectReason::kNone: break;
+    }
+  }
+  ServeResult r;
+  r.rejected = reason;
+  r.total_s = now_seconds() - p.enqueue_t;
+  p.promise.set_value(std::move(r));
+}
+
+void ServingRuntime::gather_same_model(std::vector<Pending>& batch) {
+  const ModelHandle h = batch.front().handle;
+  for (auto it = queue_.begin();
+       it != queue_.end() &&
+       static_cast<int>(batch.size()) < cfg_.max_batch;) {
+    if (it->handle == h) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServingRuntime::worker_loop() {
+  // Long-lived per-worker execution pool: requests never pay per-call
+  // thread spawn.  spec_.threads == 1 (the serving default) keeps it
+  // threadless.
+  ThreadPool pool(spec_.threads);
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained (or aborted): done
+        continue;
+      }
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      gather_same_model(batch);
+      if (static_cast<int>(batch.size()) < cfg_.max_batch &&
+          cfg_.batch_window_s > 0.0 && !stopping_) {
+        // Linger for more same-model arrivals.  Draining skips the window
+        // (stopping_ breaks the loop), and every wake re-gathers whatever
+        // arrived.
+        const auto window_end =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(cfg_.batch_window_s));
+        while (static_cast<int>(batch.size()) < cfg_.max_batch &&
+               !stopping_) {
+          if (queue_cv_.wait_until(lock, window_end) ==
+              std::cv_status::timeout) {
+            gather_same_model(batch);
+            break;
+          }
+          gather_same_model(batch);
+        }
+      }
+    }
+    execute_batch(batch, pool);
+  }
+}
+
+void ServingRuntime::execute_batch(std::vector<Pending>& batch,
+                                   ThreadPool& pool) {
+  const double dispatch_t = now_seconds();
+
+  // Dispatch-time deadline shedding: expired requests never execute.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (dispatch_t > p.deadline) {
+      resolve_rejected(std::move(p), RejectReason::kDeadline);
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  // Coalesce byte-identical inputs: every request maps to a slot in the
+  // unique-input list; duplicates reuse the first twin's execution.  Exact
+  // double equality on the raw data -- the same predicate the reference
+  // cache uses -- and execution is deterministic, so fan-out is exact.
+  std::vector<Tensor> inputs;
+  std::vector<size_t> slot_of(live.size());
+  if (cfg_.coalesce_identical) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      size_t s = 0;
+      while (s < inputs.size() && inputs[s].data != live[i].input.data) ++s;
+      if (s == inputs.size()) inputs.push_back(live[i].input);
+      slot_of[i] = s;
+    }
+  } else {
+    inputs.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      inputs.push_back(live[i].input);
+      slot_of[i] = i;
+    }
+  }
+
+  // One run_batch call for the whole window, on this worker's long-lived
+  // pool.  Invalid geometry surfaces here, NOT as an exception out of the
+  // worker: resolve every request exceptionally instead of dying.
+  BatchRunReport reports;
+  try {
+    reports = live.front().model->run_batch(inputs, cfg_.run_options, pool);
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Pending& p : live) p.promise.set_exception(err);
+    return;
+  }
+  const double done_t = now_seconds();
+
+  // First twin of each slot executed; later twins are coalesced fan-outs.
+  uint64_t coalesced_here = 0;
+  std::vector<bool> was_coalesced(live.size(), false);
+  {
+    std::vector<bool> slot_used(inputs.size(), false);
+    for (size_t i = 0; i < live.size(); ++i) {
+      was_coalesced[i] = slot_used[slot_of[i]];
+      if (was_coalesced[i]) ++coalesced_here;
+      slot_used[slot_of[i]] = true;
+    }
+  }
+
+  // Metrics BEFORE promises: a client whose future just resolved must see
+  // its own completion in the very next metrics() snapshot.
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.completed += live.size();
+    counters_.coalesced += coalesced_here;
+    ++counters_.batches;
+    const size_t b = std::min(live.size(),
+                              counters_.batch_size_hist.size() - 1);
+    ++counters_.batch_size_hist[b];
+    for (const Pending& p : live) {
+      if (latencies_.size() < kMaxLatencySamples) {
+        latencies_.push_back(done_t - p.enqueue_t);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    Pending& p = live[i];
+    ServeResult r;
+    r.rejected = RejectReason::kNone;
+    r.batch_size = static_cast<int>(live.size());
+    r.coalesced = was_coalesced[i];
+    // The last twin of each slot may move the report; earlier ones copy.
+    const bool last_use =
+        [&] {
+          for (size_t j = i + 1; j < live.size(); ++j) {
+            if (slot_of[j] == slot_of[i]) return false;
+          }
+          return true;
+        }();
+    if (last_use) {
+      r.report = std::move(reports.runs[slot_of[i]]);
+    } else {
+      r.report = reports.runs[slot_of[i]];
+    }
+    r.queue_wait_s = dispatch_t - p.enqueue_t;
+    r.total_s = done_t - p.enqueue_t;
+    p.promise.set_value(std::move(r));
+  }
+}
+
+void ServingRuntime::shutdown(Shutdown mode) {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::vector<Pending> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (mode == Shutdown::kAbort) {
+      while (!queue_.empty()) {
+        dropped.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  for (Pending& p : dropped) {
+    resolve_rejected(std::move(p), RejectReason::kShutdown);
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ServerMetrics ServingRuntime::metrics() const {
+  ServerMetrics m;
+  std::vector<double> lats;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    m = counters_;
+    lats = latencies_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    m.queue_high_water = queue_high_water_;
+  }
+  m.latency = summarize_latencies(std::move(lats));
+  m.elapsed_s = now_seconds() - start_t_;
+  m.throughput_rps =
+      m.elapsed_s > 0.0 ? static_cast<double>(m.completed) / m.elapsed_s : 0.0;
+  m.mean_batch_size =
+      m.batches > 0
+          ? static_cast<double>(m.completed) / static_cast<double>(m.batches)
+          : 0.0;
+  return m;
+}
+
+}  // namespace mpipu::serve

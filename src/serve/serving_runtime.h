@@ -1,0 +1,239 @@
+// ServingRuntime: the serving layer above CompiledModel -- the piece every
+// caller has hand-rolled since the compile/run split (PR 4).
+//
+//   submit(handle, input) ──> bounded MPMC queue ──> batching window ──>
+//        N async workers ──> CompiledModel::run_batch ──> future<ServeResult>
+//
+// The runtime owns:
+//   * a Session-style LRU plan cache: load() compiles a model once (exact
+//     content match dedups repeat loads) and hands back a ModelHandle;
+//     requests carry the handle, so the hot path never touches weight
+//     bytes;
+//   * a bounded MPMC request queue with typed overload shedding: a full
+//     queue (global or per-model admission cap) resolves the future
+//     IMMEDIATELY with Rejected{kQueueFull} -- the hot path never throws;
+//   * a dynamic batching window per worker: the worker takes the oldest
+//     request as batch leader, gathers queued same-model requests up to
+//     `max_batch`, and optionally lingers `batch_window_s` for more before
+//     executing everything as ONE CompiledModel::run_batch call on the
+//     worker's long-lived pool.  Requests whose deadline passed by
+//     dispatch time are shed as Rejected{kDeadline} without executing;
+//   * dispatch-time coalescing: byte-identical same-model inputs inside a
+//     batch execute ONCE and fan the (deterministic, hence exact) report
+//     out to every twin -- the serving-layer analogue of CompiledModel's
+//     per-input reference cache.  Load-adaptive by construction: saturation
+//     deepens the queue, deeper queues widen the window, wider windows
+//     collapse more duplicates exactly when capacity is scarcest;
+//   * graceful shutdown: kDrain completes every accepted request first,
+//     kAbort finishes only in-flight batches and resolves everything still
+//     queued as Rejected{kShutdown}.  Every future is resolved exactly
+//     once, whatever path it takes.
+//
+// Batched execution is byte-identical to one-at-a-time CompiledModel::run
+// (outputs, per-layer stats, cycles): run_batch runs each input through the
+// same deterministic executor, and coalescing only ever reuses the report
+// of an identical input.  tests/test_serving_runtime.cpp pins all of it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/compiled_model.h"
+#include "api/json.h"
+#include "common/percentile.h"
+
+namespace mpipu::serve {
+
+/// Why a request did not produce a report.  Overload outcomes are VALUES,
+/// not exceptions: the hot path resolves the future with one of these and
+/// keeps serving.
+enum class RejectReason {
+  kNone,       ///< not rejected: the report is valid
+  kQueueFull,  ///< shed at admission (global queue or per-model cap full)
+  kDeadline,   ///< deadline had passed when a worker reached the request
+  kShutdown,   ///< runtime stopping: submitted after shutdown, or queued at
+               ///< shutdown(kAbort)
+};
+const char* reject_reason_name(RejectReason r);
+
+struct ServerConfig {
+  /// Async worker threads consuming the queue.  Each owns a long-lived
+  /// execution pool of RunSpec::threads workers.
+  int workers = 1;
+  /// Bounded queue capacity; submissions beyond it shed kQueueFull.
+  size_t queue_capacity = 64;
+  /// Per-model admission cap on QUEUED requests (0 = no cap): one model
+  /// saturating the service cannot starve the others out of the queue.
+  size_t per_model_queue_cap = 0;
+  /// Dynamic batching: a worker coalesces up to this many queued
+  /// same-model requests into one run_batch call.
+  int max_batch = 8;
+  /// How long the batch leader lingers for more same-model arrivals when
+  /// the queue alone does not fill the batch.  0 = never wait (batch only
+  /// what is already queued).  Ignored while draining.
+  double batch_window_s = 0.0;
+  /// LRU capacity of the plan cache behind load().  Loading past it evicts
+  /// the least-recently-used plan (in-flight requests keep it alive; its
+  /// handle becomes invalid for new submissions).
+  size_t max_models = 8;
+  /// Execute byte-identical same-model inputs in a batch once, fanning the
+  /// report out (exact: execution is deterministic).
+  bool coalesce_identical = true;
+  /// Options every request executes with.  Serving defaults: no FP32
+  /// shadow chain, no cycle-sim estimate.
+  RunOptions run_options{.compare_reference = false, .with_estimate = false};
+};
+
+/// Stable identity of a loaded model.  Requests carry handles; weight bytes
+/// are only ever touched inside load().
+using ModelHandle = int;
+
+struct SubmitOptions {
+  /// Relative deadline (seconds from submission).  A request still queued
+  /// when it expires is shed as kDeadline at dispatch time; a request
+  /// already executing always completes.  Infinity = no deadline.
+  double timeout_s = std::numeric_limits<double>::infinity();
+};
+
+struct ServeResult {
+  RejectReason rejected = RejectReason::kShutdown;
+  bool ok() const { return rejected == RejectReason::kNone; }
+  /// Valid when ok(): the same per-request RunReport a direct
+  /// CompiledModel::run would have produced (byte-identical).
+  RunReport report;
+  /// Executed batch size (after deadline shedding), 0 when rejected.
+  int batch_size = 0;
+  /// True when this request was served by fanning out an identical
+  /// in-batch twin's execution.
+  bool coalesced = false;
+  double queue_wait_s = 0.0;  ///< submission -> batch dispatch
+  double total_s = 0.0;       ///< submission -> future resolution
+};
+
+/// Point-in-time metrics snapshot (ServingRuntime::metrics).
+struct ServerMetrics {
+  uint64_t submitted = 0;   ///< every submit() call, whatever its outcome
+  uint64_t completed = 0;   ///< requests resolved with ok()
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_shutdown = 0;
+  uint64_t coalesced = 0;   ///< completed requests served via an identical twin
+  uint64_t batches = 0;     ///< run_batch dispatches
+  size_t queue_high_water = 0;  ///< deepest the queue has been
+  /// batch_size_hist[b] = batches that executed exactly b requests
+  /// (index 0 unused).
+  std::vector<uint64_t> batch_size_hist;
+  LatencySummary latency;   ///< total_s of completed requests
+  double elapsed_s = 0.0;   ///< since runtime construction
+  double throughput_rps = 0.0;    ///< completed / elapsed
+  double mean_batch_size = 0.0;   ///< completed / batches
+
+  Json to_json_value() const;
+};
+
+class ServingRuntime {
+ public:
+  enum class Shutdown {
+    kDrain,  ///< stop admitting, complete every accepted request, stop
+    kAbort,  ///< stop admitting, finish in-flight batches, shed the queue
+  };
+
+  /// Starts cfg.workers async workers immediately.  `spec` plays the same
+  /// role as for Session: one spec drives every model this runtime serves.
+  explicit ServingRuntime(RunSpec spec, ServerConfig cfg = {});
+  ~ServingRuntime();  ///< shutdown(kDrain)
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Compile-once model registration.  Loading an exactly-matching model
+  /// again (content + input geometry) returns the existing handle and
+  /// refreshes its LRU recency.  Throws std::invalid_argument for anything
+  /// CompiledModel::compile rejects -- load time is where exceptions
+  /// belong, not the request path.
+  ModelHandle load(const Model& model, int input_h, int input_w);
+  ModelHandle load(const GraphModel& model, int input_h, int input_w);
+
+  /// The compiled plan behind a handle (introspection / direct baseline
+  /// runs).  Throws std::out_of_range for an unknown or evicted handle.
+  std::shared_ptr<const CompiledModel> model(ModelHandle h) const;
+  size_t loaded_count() const;
+
+  /// Enqueue one request.  Never throws for overload or shutdown -- those
+  /// resolve the returned future immediately with the typed rejection.
+  /// Throws std::out_of_range only for an unknown/evicted handle (a caller
+  /// bug, not a load condition).
+  std::future<ServeResult> submit(ModelHandle h, Tensor input,
+                                  const SubmitOptions& opts = {});
+
+  /// Blocking convenience: submit + wait.
+  ServeResult serve(ModelHandle h, Tensor input,
+                    const SubmitOptions& opts = {});
+
+  /// Idempotent; blocks until every worker has exited.  After shutdown all
+  /// submissions resolve as Rejected{kShutdown}.
+  void shutdown(Shutdown mode);
+
+  ServerMetrics metrics() const;
+  const ServerConfig& config() const { return cfg_; }
+  const RunSpec& spec() const { return spec_; }
+
+ private:
+  struct Pending {
+    /// Pinned at submit so LRU eviction can never pull a plan out from
+    /// under a queued request.
+    std::shared_ptr<const CompiledModel> model;
+    ModelHandle handle = -1;
+    Tensor input;
+    double enqueue_t = 0.0;
+    double deadline = std::numeric_limits<double>::infinity();
+    std::promise<ServeResult> promise;
+  };
+  struct LoadedModel {
+    ModelHandle handle = -1;
+    std::shared_ptr<const CompiledModel> compiled;
+  };
+
+  template <typename ModelT>
+  ModelHandle load_impl(const ModelT& model, int input_h, int input_w);
+  void worker_loop();
+  /// Move queued same-handle requests into `batch` (FIFO order) up to
+  /// max_batch.  Caller holds mu_.
+  void gather_same_model(std::vector<Pending>& batch);
+  void execute_batch(std::vector<Pending>& batch, ThreadPool& pool);
+  void resolve_rejected(Pending&& p, RejectReason reason);
+
+  RunSpec spec_;
+  ServerConfig cfg_;
+  double start_t_ = 0.0;
+
+  /// Plan cache (guarded by models_mu_): LRU order, most recent at back.
+  mutable std::mutex models_mu_;
+  std::vector<LoadedModel> models_;
+  ModelHandle next_handle_ = 0;
+
+  /// Request queue (guarded by mu_, signaled by queue_cv_).
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  size_t queue_high_water_ = 0;
+  bool stopping_ = false;
+
+  /// Counters and the latency record (guarded by metrics_mu_; never held
+  /// together with mu_).
+  mutable std::mutex metrics_mu_;
+  ServerMetrics counters_;
+  std::vector<double> latencies_;
+
+  std::mutex shutdown_mu_;  ///< serializes shutdown() and the destructor
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpipu::serve

@@ -1,0 +1,102 @@
+#include "serve/traffic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mpipu::serve {
+
+namespace {
+
+/// Exponential gap with mean 1/rate; infinite-rate guard for rate <= 0
+/// callers is handled by the callers (they never pass 0 for an active
+/// state's arrivals).
+double exp_gap(Rng& rng, double rate) {
+  // Inverse CDF on a (0, 1] uniform: -log(u)/rate.  uniform() returns
+  // [lo, hi), so flip to (0, 1] by subtracting from 1.
+  return -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate;
+}
+
+}  // namespace
+
+std::vector<double> poisson_arrivals(Rng& rng, double rate_rps, int count) {
+  if (rate_rps <= 0.0) {
+    throw std::invalid_argument("poisson_arrivals: rate must be positive");
+  }
+  std::vector<double> t(static_cast<size_t>(count > 0 ? count : 0));
+  double clock = 0.0;
+  for (auto& v : t) {
+    clock += exp_gap(rng, rate_rps);
+    v = clock;
+  }
+  return t;
+}
+
+std::vector<double> bursty_arrivals(Rng& rng, const BurstyConfig& cfg,
+                                    int count) {
+  if (cfg.burst_rate_rps <= 0.0 || cfg.idle_rate_rps < 0.0 ||
+      cfg.mean_burst_s <= 0.0 || cfg.mean_idle_s <= 0.0) {
+    throw std::invalid_argument(
+        "bursty_arrivals: burst rate and mean dwell times must be positive, "
+        "idle rate non-negative");
+  }
+  std::vector<double> t;
+  t.reserve(static_cast<size_t>(count > 0 ? count : 0));
+  double clock = 0.0;
+  bool bursting = true;  // streams open in a burst, so t[0] is near 0
+  double state_end = exp_gap(rng, 1.0 / cfg.mean_burst_s);
+  while (static_cast<int>(t.size()) < count) {
+    const double rate = bursting ? cfg.burst_rate_rps : cfg.idle_rate_rps;
+    // Within the idle state at rate 0 no arrival ever lands: skip straight
+    // to the state boundary.
+    const double next = rate > 0.0 ? clock + exp_gap(rng, rate)
+                                   : state_end;
+    if (next < state_end) {
+      clock = next;
+      t.push_back(clock);
+    } else {
+      clock = state_end;
+      bursting = !bursting;
+      state_end = clock + exp_gap(rng, 1.0 / (bursting ? cfg.mean_burst_s
+                                                       : cfg.mean_idle_s));
+    }
+  }
+  return t;
+}
+
+double bursty_mean_rate(const BurstyConfig& cfg) {
+  const double cycle = cfg.mean_burst_s + cfg.mean_idle_s;
+  return (cfg.burst_rate_rps * cfg.mean_burst_s +
+          cfg.idle_rate_rps * cfg.mean_idle_s) /
+         cycle;
+}
+
+std::vector<int> zipf_indices(Rng& rng, double s, int catalog_size,
+                              int count) {
+  if (catalog_size <= 0) {
+    throw std::invalid_argument("zipf_indices: catalog must be non-empty");
+  }
+  // CDF table once, then inverse-CDF sampling by binary search.
+  std::vector<double> cdf(static_cast<size_t>(catalog_size));
+  double norm = 0.0;
+  for (int i = 0; i < catalog_size; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[static_cast<size_t>(i)] = norm;
+  }
+  std::vector<int> out(static_cast<size_t>(count > 0 ? count : 0));
+  for (auto& v : out) {
+    const double u = rng.uniform(0.0, norm);
+    int lo = 0, hi = catalog_size - 1;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (cdf[static_cast<size_t>(mid)] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    v = lo;
+  }
+  return out;
+}
+
+}  // namespace mpipu::serve

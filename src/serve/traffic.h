@@ -1,0 +1,48 @@
+// Open-loop traffic synthesis for the serving runtime benches and tests.
+//
+// A closed-loop client (issue, wait, issue) can never overload a server --
+// its arrival rate adapts to the service rate, so queueing, batching and
+// shedding are invisible to it.  Open-loop traffic fixes an arrival
+// schedule UP FRONT (requests arrive whether or not the server keeps up),
+// which is what exposes the saturation behavior this PR's runtime exists
+// for.  Everything here is deterministic from a seed (common/rng.h), like
+// every other workload synthesizer in the repo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mpipu::serve {
+
+/// Poisson process at `rate_rps`: `count` arrival offsets (seconds from
+/// stream start, ascending) with i.i.d. exponential inter-arrival gaps.
+/// The memoryless baseline of every serving study.
+std::vector<double> poisson_arrivals(Rng& rng, double rate_rps, int count);
+
+/// Two-state modulated Poisson process (burst / idle), the classic bursty
+/// approximation of production traffic: dwell times in each state are
+/// exponential with the given means, arrivals within a state are Poisson at
+/// that state's rate.  `idle_rate_rps` may be 0 (strict on/off traffic).
+struct BurstyConfig {
+  double burst_rate_rps = 100.0;
+  double idle_rate_rps = 0.0;
+  double mean_burst_s = 0.1;
+  double mean_idle_s = 0.4;
+};
+std::vector<double> bursty_arrivals(Rng& rng, const BurstyConfig& cfg,
+                                    int count);
+
+/// Long-run mean arrival rate of a bursty config (for sizing offered load).
+double bursty_mean_rate(const BurstyConfig& cfg);
+
+/// Zipf-distributed catalog indices in [0, catalog_size): P(i) proportional
+/// to 1/(i+1)^s.  Models the hot-key skew of real request streams (a few
+/// inputs dominate) -- the regime where the runtime's dispatch-time
+/// coalescing of identical requests pays off.  s = 0 degenerates to
+/// uniform.
+std::vector<int> zipf_indices(Rng& rng, double s, int catalog_size,
+                              int count);
+
+}  // namespace mpipu::serve

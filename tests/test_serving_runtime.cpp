@@ -1,0 +1,459 @@
+// Tests for the serving runtime (src/serve): the semantics the header
+// promises, pinned under real thread interleavings.
+//
+//  * byte-identity: everything served through the queue/batcher -- batched,
+//    coalesced or alone -- matches a direct CompiledModel::run of the same
+//    input exactly (outputs AND per-layer stats);
+//  * overload: a saturating client against a tiny bounded queue sheds
+//    kQueueFull, and completed + shed always accounts for every submission;
+//  * deadlines: an expired request is shed at dispatch without executing;
+//  * shutdown: kDrain completes every accepted request, kAbort resolves the
+//    still-queued ones as kShutdown, submissions after shutdown are
+//    rejected immediately;
+//  * the load() plan cache: content dedup, LRU eviction, handle lifetime;
+//  * traffic synthesis (open-loop schedules) and the shared nearest-rank
+//    percentile helper.
+//
+// Timing-dependent assertions are deliberately loose (>= 1 shed, counts
+// that add up) -- the tests must pass on any scheduler.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "common/percentile.h"
+#include "common/rng.h"
+#include "serve/serving_runtime.h"
+#include "serve/traffic.h"
+
+namespace mpipu::serve {
+namespace {
+
+DatapathConfig small_datapath() {
+  DatapathConfig cfg = DatapathConfig::for_scheme(DecompositionScheme::kTemporal);
+  cfg.n_inputs = 16;
+  cfg.adder_tree_width = 16;
+  cfg.software_precision = 28;
+  cfg.multi_cycle = true;
+  return cfg;
+}
+
+RunSpec serving_spec() {
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.policy = PrecisionPolicy::all_fp16(AccumKind::kFp32);
+  spec.threads = 1;
+  return spec;
+}
+
+/// Small 2-layer CNN (fast: the default request payload).
+Model fast_model(Rng& rng, const std::string& name = "serve_fast") {
+  std::vector<ModelLayer> layers(2);
+  layers[0].name = "conv1";
+  layers[0].filters = random_filters(rng, 4, 3, 3, 3, ValueDist::kNormal, 0.3);
+  layers[0].spec.pad = 1;
+  layers[0].relu = true;
+  layers[1].name = "head";
+  layers[1].filters = random_filters(rng, 2, 4, 1, 1, ValueDist::kNormal, 0.2);
+  return Model::from_layers(name, std::move(layers));
+}
+
+/// Wider 3-layer CNN (slow: used to hold a worker busy while the queue
+/// builds up behind it).
+Model slow_model(Rng& rng) {
+  std::vector<ModelLayer> layers(3);
+  layers[0].name = "conv1";
+  layers[0].filters =
+      random_filters(rng, 16, 3, 3, 3, ValueDist::kNormal, 0.3);
+  layers[0].spec.pad = 1;
+  layers[0].relu = true;
+  layers[1].name = "conv2";
+  layers[1].filters =
+      random_filters(rng, 16, 16, 3, 3, ValueDist::kNormal, 0.15);
+  layers[1].spec.pad = 1;
+  layers[1].relu = true;
+  layers[2].name = "head";
+  layers[2].filters =
+      random_filters(rng, 4, 16, 1, 1, ValueDist::kNormal, 0.2);
+  return Model::from_layers("serve_slow", std::move(layers));
+}
+
+TEST(ServingRuntime, BatchedAndCoalescedResultsAreByteIdentical) {
+  Rng rng(7001);
+  const Model slow = slow_model(rng);
+  const Model fast = fast_model(rng);
+  const Tensor plug = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+  std::vector<Tensor> catalog;
+  for (int i = 0; i < 3; ++i) {
+    catalog.push_back(random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0));
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 64;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle hs = rt.load(slow, 16, 16);
+  const ModelHandle hf = rt.load(fast, 10, 10);
+
+  // Direct baselines (no queue, no batcher) from the same compiled plans.
+  std::vector<RunReport> direct;
+  for (const Tensor& in : catalog) {
+    direct.push_back(rt.model(hf)->run(in, cfg.run_options));
+  }
+
+  // The plug occupies the worker while the 12 fast requests pile up, so
+  // batches (and in-batch duplicates) form deterministically.
+  std::future<ServeResult> plug_fut = rt.submit(hs, plug);
+  constexpr int kRequests = 12;
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < kRequests; ++i) {
+    futs.push_back(rt.submit(hf, catalog[static_cast<size_t>(i % 3)]));
+  }
+
+  ASSERT_TRUE(plug_fut.get().ok());
+  int batched = 0, coalesced = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    ServeResult r = futs[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(r.ok()) << "request " << i << " rejected: "
+                        << reject_reason_name(r.rejected);
+    const RunReport& want = direct[static_cast<size_t>(i % 3)];
+    ASSERT_EQ(r.report.output.data.size(), want.output.data.size());
+    EXPECT_EQ(r.report.output.data, want.output.data) << "request " << i;
+    // Per-layer stats byte-identity (via the shared JSON emitter).
+    ASSERT_EQ(r.report.layers.size(), want.layers.size());
+    EXPECT_EQ(to_json_value(r.report.totals).dump(0),
+              to_json_value(want.totals).dump(0));
+    if (r.batch_size > 1) ++batched;
+    if (r.coalesced) ++coalesced;
+    EXPECT_GE(r.total_s, r.queue_wait_s);
+  }
+  // With the worker plugged, the 12 queued requests must have formed
+  // multi-request batches; 4 requests over a 3-input catalog guarantees a
+  // duplicate in every full batch.
+  EXPECT_GT(batched, 0);
+  EXPECT_GT(coalesced, 0);
+
+  const ServerMetrics m = rt.metrics();
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kRequests) + 1);
+  EXPECT_EQ(m.completed, static_cast<uint64_t>(kRequests) + 1);
+  EXPECT_EQ(m.coalesced, static_cast<uint64_t>(coalesced));
+  EXPECT_GT(m.batches, 0u);
+  EXPECT_GE(m.queue_high_water, 2u);
+  EXPECT_EQ(m.latency.count, m.completed);
+  EXPECT_GE(m.latency.p99_s, m.latency.p50_s);
+}
+
+TEST(ServingRuntime, CoalescingOffStillByteIdentical) {
+  Rng rng(7002);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.coalesce_identical = false;
+  cfg.max_batch = 4;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(fast, 10, 10);
+  const RunReport want = rt.model(h)->run(input, cfg.run_options);
+
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(rt.submit(h, input));
+  for (auto& f : futs) {
+    ServeResult r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.coalesced);
+    EXPECT_EQ(r.report.output.data, want.output.data);
+  }
+  EXPECT_EQ(rt.metrics().coalesced, 0u);
+}
+
+TEST(ServingRuntime, SaturatingClientShedsQueueFull) {
+  Rng rng(7003);
+  const Model slow = slow_model(rng);
+  const Tensor input = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.max_batch = 1;  // drain one at a time: the queue stays full
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(slow, 16, 16);
+
+  constexpr int kRequests = 24;
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < kRequests; ++i) futs.push_back(rt.submit(h, input));
+
+  uint64_t ok = 0, shed = 0;
+  for (auto& f : futs) {
+    const ServeResult r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.rejected, RejectReason::kQueueFull);
+      EXPECT_EQ(r.batch_size, 0);
+      ++shed;
+    }
+  }
+  // Submission is microseconds per request against a multi-millisecond
+  // service time and a 2-deep queue: shedding is unavoidable, and at least
+  // the in-flight + queued requests complete.
+  EXPECT_GE(shed, 1u);
+  EXPECT_GE(ok, 1u);
+  EXPECT_EQ(ok + shed, static_cast<uint64_t>(kRequests));
+
+  const ServerMetrics m = rt.metrics();
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(m.completed, ok);
+  EXPECT_EQ(m.shed_queue_full, shed);
+  EXPECT_LE(m.queue_high_water, cfg.queue_capacity);
+}
+
+TEST(ServingRuntime, PerModelAdmissionCapIsolatesAGreedyModel) {
+  Rng rng(7004);
+  const Model slow = slow_model(rng);
+  const Model fast = fast_model(rng);
+  const Tensor slow_in = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+  const Tensor fast_in = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.per_model_queue_cap = 2;
+  cfg.max_batch = 1;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle hs = rt.load(slow, 16, 16);
+  const ModelHandle hf = rt.load(fast, 10, 10);
+
+  // The greedy model floods; its queue share is capped at 2, so the fast
+  // model's request is still admitted.
+  std::vector<std::future<ServeResult>> greedy;
+  for (int i = 0; i < 16; ++i) greedy.push_back(rt.submit(hs, slow_in));
+  std::future<ServeResult> precious = rt.submit(hf, fast_in);
+
+  EXPECT_TRUE(precious.get().ok());
+  uint64_t shed = 0;
+  for (auto& f : greedy) {
+    if (!f.get().ok()) ++shed;
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(rt.metrics().shed_queue_full, shed);
+}
+
+TEST(ServingRuntime, ExpiredDeadlineShedsWithoutExecuting) {
+  Rng rng(7005);
+  const Model slow = slow_model(rng);
+  const Model fast = fast_model(rng);
+  const Tensor slow_in = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+  const Tensor fast_in = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle hs = rt.load(slow, 16, 16);
+  const ModelHandle hf = rt.load(fast, 10, 10);
+
+  // The slow request occupies the worker; the zero-timeout fast request
+  // expires while queued (it cannot join the slow batch: batches are
+  // same-model) and must be shed at dispatch, not executed.
+  std::future<ServeResult> blocker = rt.submit(hs, slow_in);
+  SubmitOptions expired;
+  expired.timeout_s = 0.0;
+  const ServeResult r = rt.serve(hf, fast_in, expired);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.rejected, RejectReason::kDeadline);
+  EXPECT_TRUE(blocker.get().ok());
+  EXPECT_EQ(rt.metrics().shed_deadline, 1u);
+
+  // A generous deadline passes untouched.
+  SubmitOptions plenty;
+  plenty.timeout_s = 60.0;
+  EXPECT_TRUE(rt.serve(hf, fast_in, plenty).ok());
+}
+
+TEST(ServingRuntime, DrainCompletesEveryAcceptedRequest) {
+  Rng rng(7006);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  auto rt = std::make_unique<ServingRuntime>(serving_spec(), ServerConfig{});
+  const ModelHandle h = rt->load(fast, 10, 10);
+  constexpr int kRequests = 10;
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < kRequests; ++i) futs.push_back(rt->submit(h, input));
+
+  rt->shutdown(ServingRuntime::Shutdown::kDrain);
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(rt->metrics().completed, static_cast<uint64_t>(kRequests));
+
+  // After shutdown, submissions resolve kShutdown immediately (no throw).
+  const ServeResult late = rt->serve(h, input);
+  EXPECT_EQ(late.rejected, RejectReason::kShutdown);
+  rt.reset();  // destructor's second shutdown is a no-op
+}
+
+TEST(ServingRuntime, AbortShedsQueuedButFinishesInFlight) {
+  Rng rng(7007);
+  const Model slow = slow_model(rng);
+  const Tensor input = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;  // one request per dispatch: the rest stay queued
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(slow, 16, 16);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < kRequests; ++i) futs.push_back(rt.submit(h, input));
+  rt.shutdown(ServingRuntime::Shutdown::kAbort);
+
+  uint64_t ok = 0, shed = 0;
+  for (auto& f : futs) {
+    const ServeResult r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.rejected, RejectReason::kShutdown);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, static_cast<uint64_t>(kRequests));
+  // Multi-millisecond service vs a microsecond abort: most of the queue is
+  // still pending when the abort lands.
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(rt.metrics().shed_shutdown, shed);
+}
+
+TEST(ServingRuntime, PlanCacheDedupsAndEvictsLru) {
+  Rng rng(7008);
+  const Model a = fast_model(rng, "serve_a");
+  const Model b = fast_model(rng, "serve_b");
+  const Model c = fast_model(rng, "serve_c");
+
+  ServerConfig cfg;
+  cfg.max_models = 2;
+  ServingRuntime rt(serving_spec(), cfg);
+
+  const ModelHandle ha = rt.load(a, 10, 10);
+  EXPECT_EQ(rt.load(a, 10, 10), ha);  // content dedup
+  EXPECT_EQ(rt.loaded_count(), 1u);
+  // Same content at different geometry is a distinct plan.
+  const ModelHandle ha8 = rt.load(a, 8, 8);
+  EXPECT_NE(ha8, ha);
+  EXPECT_EQ(rt.loaded_count(), 2u);
+
+  // Touch ha (LRU refresh), then load two more: ha survives, ha8 and the
+  // next victim fall off the back of the 2-entry cache.
+  EXPECT_EQ(rt.load(a, 10, 10), ha);
+  rt.load(b, 10, 10);
+  rt.load(c, 10, 10);
+  EXPECT_EQ(rt.loaded_count(), 2u);
+  EXPECT_THROW(rt.model(ha), std::out_of_range);
+  EXPECT_THROW({
+    Tensor in = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+    rt.submit(ha, std::move(in));
+  }, std::out_of_range);
+}
+
+TEST(ServingRuntime, MetricsJsonHasTheContractKeys) {
+  Rng rng(7009);
+  const Model fast = fast_model(rng);
+  ServingRuntime rt(serving_spec());
+  const ModelHandle h = rt.load(fast, 10, 10);
+  rt.serve(h, random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0));
+
+  const std::string json = rt.metrics().to_json_value().dump();
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"shed_queue_full\"",
+        "\"shed_deadline\"", "\"shed_shutdown\"", "\"coalesced\"",
+        "\"batches\"", "\"queue_high_water\"", "\"batch_size_hist\"",
+        "\"p50_s\"", "\"p95_s\"", "\"p99_s\"", "\"throughput_rps\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Traffic, PoissonArrivalsAreAscendingDeterministicAndRateTrue) {
+  Rng a(42), b(42);
+  const std::vector<double> t1 = poisson_arrivals(a, 200.0, 4000);
+  const std::vector<double> t2 = poisson_arrivals(b, 200.0, 4000);
+  EXPECT_EQ(t1, t2);  // deterministic from the seed
+  ASSERT_EQ(t1.size(), 4000u);
+  EXPECT_GT(t1.front(), 0.0);
+  for (size_t i = 1; i < t1.size(); ++i) EXPECT_GE(t1[i], t1[i - 1]);
+  // Mean rate within 10% at n = 4000.
+  const double rate = 4000.0 / t1.back();
+  EXPECT_NEAR(rate, 200.0, 20.0);
+  EXPECT_THROW(poisson_arrivals(a, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Traffic, BurstyArrivalsClusterAndMatchTheMeanRate) {
+  Rng rng(43);
+  BurstyConfig cfg;
+  cfg.burst_rate_rps = 500.0;
+  cfg.idle_rate_rps = 0.0;
+  cfg.mean_burst_s = 0.05;
+  cfg.mean_idle_s = 0.2;
+  const std::vector<double> t = bursty_arrivals(rng, cfg, 2000);
+  ASSERT_EQ(t.size(), 2000u);
+  for (size_t i = 1; i < t.size(); ++i) EXPECT_GE(t[i], t[i - 1]);
+  // Long-run rate approaches the analytic mean (loose: dwell times are
+  // exponential, so 2000 arrivals span ~40 cycles).
+  const double mean = bursty_mean_rate(cfg);
+  EXPECT_NEAR(mean, 100.0, 1e-9);  // 500 * 0.05 / 0.25
+  const double rate = 2000.0 / t.back();
+  EXPECT_GT(rate, mean * 0.5);
+  EXPECT_LT(rate, mean * 2.0);
+  // On/off traffic must contain gaps far above the in-burst mean gap.
+  double max_gap = 0.0;
+  for (size_t i = 1; i < t.size(); ++i) max_gap = std::max(max_gap, t[i] - t[i - 1]);
+  EXPECT_GT(max_gap, 0.05);
+}
+
+TEST(Traffic, ZipfIndicesSkewTowardTheHead) {
+  Rng rng(44);
+  const int kCatalog = 16;
+  const std::vector<int> idx = zipf_indices(rng, 1.2, kCatalog, 8000);
+  std::vector<int> hist(kCatalog, 0);
+  for (int v : idx) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kCatalog);
+    ++hist[static_cast<size_t>(v)];
+  }
+  // Head dominance: index 0 beats index 1, and the top-4 carry most mass.
+  EXPECT_GT(hist[0], hist[1]);
+  int top4 = hist[0] + hist[1] + hist[2] + hist[3];
+  EXPECT_GT(top4, 8000 / 2);
+  // s = 0 degenerates to (roughly) uniform: no index gets > 20%.
+  const std::vector<int> uni = zipf_indices(rng, 0.0, kCatalog, 8000);
+  std::vector<int> uhist(kCatalog, 0);
+  for (int v : uni) ++uhist[static_cast<size_t>(v)];
+  for (int c : uhist) EXPECT_LT(c, 8000 / 5);
+}
+
+TEST(Percentile, NearestRankMatchesTheDefinition) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(percentile_nearest_rank_sorted(v, 50), 50.0);
+  EXPECT_EQ(percentile_nearest_rank_sorted(v, 95), 95.0);
+  EXPECT_EQ(percentile_nearest_rank_sorted(v, 99), 99.0);
+  EXPECT_EQ(percentile_nearest_rank_sorted(v, 100), 100.0);
+
+  // The double-arithmetic trap: ceil(0.95 * 20) evaluates to 20 in floating
+  // point; the integer nearest-rank is 19.
+  std::vector<double> w;
+  for (int i = 1; i <= 20; ++i) w.push_back(static_cast<double>(i));
+  EXPECT_EQ(percentile_nearest_rank_sorted(w, 95), 19.0);
+  EXPECT_EQ(percentile_nearest_rank_sorted(w, 50), 10.0);
+
+  EXPECT_EQ(percentile_nearest_rank_sorted({}, 95), 0.0);
+  const LatencySummary s = summarize_latencies({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.p50_s, 2.0);
+  EXPECT_EQ(s.p99_s, 3.0);
+  EXPECT_EQ(s.max_s, 3.0);
+  EXPECT_NEAR(s.mean_s, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpipu::serve

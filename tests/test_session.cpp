@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "api/session.h"
 #include "common/rng.h"
@@ -321,6 +323,60 @@ TEST(RunReportJson, EmitsStructuredDocument) {
   const std::string bjson = batch.to_json();
   EXPECT_NE(bjson.find("\"batch\""), std::string::npos);
   EXPECT_NE(bjson.find("\"runs\""), std::string::npos);
+}
+
+// Regression: the compile-on-first-use cache used to be unsynchronized, so
+// two threads hitting one Session raced the lookup/rotate/evict sequence
+// (and worse, an eviction could destroy a CompiledModel another thread was
+// mid-run on).  Hammer one Session from 8 threads with more distinct models
+// than the cache holds, so compiles, hits, LRU rotations and evictions all
+// interleave; every thread checks its outputs against a serial baseline.
+TEST(SessionThreadSafety, ConcurrentRunsShareOneSession) {
+  constexpr int kThreads = 8;
+  constexpr int kModels = 10;  // > kMaxCompiledCacheEntries: forces eviction
+  constexpr int kRounds = 6;
+
+  RunSpec spec;
+  spec.datapath = small_datapath();
+  spec.policy = mixed_policy();
+  spec.threads = 1;
+
+  std::vector<Model> models;
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  {
+    Rng rng(404);
+    Session serial(spec);
+    for (int m = 0; m < kModels; ++m) {
+      models.push_back(tiny_model(rng));
+      inputs.push_back(
+          random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0));
+      expected.push_back(serial.run(models.back(), inputs.back()).output);
+    }
+  }
+
+  Session shared(spec);
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Each thread walks the model list from its own offset so lookups,
+        // misses and evictions collide from the first round.
+        const int m = (t + r * 3) % kModels;
+        const RunReport rep =
+            shared.run(models[static_cast<size_t>(m)],
+                       inputs[static_cast<size_t>(m)]);
+        if (rep.output.data != expected[static_cast<size_t>(m)].data) {
+          ++mismatches[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
 }
 
 }  // namespace
