@@ -24,8 +24,16 @@
 // the batched runtime and direct serial execution before anything is
 // timed; the process exits non-zero if that gate fails.
 //
-//   ./bench_server [--smoke] [--json [path]]
+// --soak adds a fixed-duration zipf soak with a mid-run fault window: the
+// middle third of the run injects execution faults (FaultPlan), the circuit
+// breaker opens, and the bench measures how long after the faults clear the
+// runtime takes to recover to its pre-fault throughput.  The soak section
+// lands in BENCH_server.json.  --no-soak-faults keeps the soak but disables
+// the fault window (CI smoke: deterministic, no chaos on shared runners).
+//
+//   ./bench_server [--smoke] [--json [path]] [--soak] [--no-soak-faults]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +42,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "serve/fault.h"
 
 #include "api/json.h"
 #include "api/session.h"
@@ -169,6 +179,150 @@ LoadResult run_batched(const RunSpec& spec, const serve::ServerConfig& cfg,
   return r;
 }
 
+/// Fixed-duration soak with a mid-run fault window (the --soak leg).
+struct SoakResult {
+  bool faults_enabled = false;
+  double duration_s = 0.0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;        ///< kExecError resolutions (injected faults)
+  uint64_t shed_unhealthy = 0;
+  uint64_t breaker_opened = 0;
+  double pre_fault_rps = 0.0;   ///< first third (clean)
+  double fault_rps = 0.0;       ///< middle third (faults firing)
+  double post_fault_rps = 0.0;  ///< last third (faults cleared)
+  /// Faults-cleared -> first 100 ms bucket back at >= 70% of the pre-fault
+  /// rate.  0 when faults are disabled; negative if it never recovered.
+  double recovery_s = 0.0;
+  bool conserved = false;  ///< invariant held in EVERY sampled snapshot
+};
+
+Json to_json(const SoakResult& r) {
+  Json j = Json::object();
+  j.set("faults_enabled", r.faults_enabled);
+  j.set("duration_s", r.duration_s);
+  j.set("submitted", static_cast<double>(r.submitted));
+  j.set("completed", static_cast<double>(r.completed));
+  j.set("failed", static_cast<double>(r.failed));
+  j.set("shed_unhealthy", static_cast<double>(r.shed_unhealthy));
+  j.set("breaker_opened", static_cast<double>(r.breaker_opened));
+  j.set("pre_fault_rps", r.pre_fault_rps);
+  j.set("fault_rps", r.fault_rps);
+  j.set("post_fault_rps", r.post_fault_rps);
+  j.set("recovery_s", r.recovery_s);
+  j.set("conserved", r.conserved);
+  return j;
+}
+
+SoakResult run_soak(const RunSpec& spec, const Model& model,
+                    const std::vector<Tensor>& catalog, double duration_s,
+                    bool with_faults) {
+  // The fault window fails nearly every execution attempt, so the breaker
+  // (threshold 3) is guaranteed to open; the cooldown is sized well inside
+  // the post-fault third so recovery is observable within the run.
+  auto faults = std::make_shared<serve::FaultPlan>(
+      serve::FaultPlan::Config{.seed = 5150, .throw_prob = 0.9});
+  faults->set_enabled(false);
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_cooldown_s = duration_s / 30.0;
+  cfg.faults = faults;
+  serve::ServingRuntime rt(spec, cfg);
+  const serve::ModelHandle h = rt.load(model, catalog[0].h, catalog[0].w);
+
+  // Two closed-loop zipf clients: serve() returns typed results, so the
+  // stream keeps flowing straight through the fault window.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t] {
+      Rng crng(7700 + static_cast<uint64_t>(t));
+      const std::vector<int> seq = serve::zipf_indices(
+          crng, 1.1, static_cast<int>(catalog.size()), 1 << 20);
+      for (size_t i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        const serve::ServeResult res =
+            rt.serve(h, catalog[static_cast<size_t>(seq[i % seq.size()])]);
+        // A shed (breaker open, injected failure) resolves in microseconds:
+        // back off briefly instead of spinning the admission path.
+        if (!res.ok()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+
+  // Sample completed-count trajectory in 100 ms buckets; flip the fault
+  // window on at T/3 and off at 2T/3.
+  const double t0 = now_seconds();
+  const double t_fault_on = t0 + duration_s / 3.0;
+  const double t_fault_off = t0 + 2.0 * duration_s / 3.0;
+  const double t_end = t0 + duration_s;
+  std::vector<double> sample_t;
+  std::vector<uint64_t> sample_done;
+  bool conserved = true;
+  double t = t0;
+  while (t < t_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    t = now_seconds();
+    if (with_faults && !faults->enabled() && t >= t_fault_on &&
+        t < t_fault_off) {
+      faults->set_enabled(true);
+    }
+    if (faults->enabled() && t >= t_fault_off) faults->set_enabled(false);
+    const serve::ServerMetrics m = rt.metrics();
+    conserved = conserved && m.conserved();
+    sample_t.push_back(t);
+    sample_done.push_back(m.completed);
+  }
+  faults->set_enabled(false);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& c : clients) c.join();
+
+  const auto rate_between = [&](double from, double until) {
+    uint64_t done_a = 0, done_b = 0;
+    double ta = t0, tb = t0;
+    for (size_t i = 0; i < sample_t.size(); ++i) {
+      if (sample_t[i] <= from) { done_a = sample_done[i]; ta = sample_t[i]; }
+      if (sample_t[i] <= until) { done_b = sample_done[i]; tb = sample_t[i]; }
+    }
+    return tb > ta ? static_cast<double>(done_b - done_a) / (tb - ta) : 0.0;
+  };
+
+  SoakResult r;
+  r.faults_enabled = with_faults;
+  r.duration_s = duration_s;
+  r.pre_fault_rps = rate_between(t0, t_fault_on);
+  r.fault_rps = rate_between(t_fault_on, t_fault_off);
+  r.post_fault_rps = rate_between(t_fault_off, t_end);
+  if (with_faults) {
+    // First bucket after the faults clear that is back at >= 70% of the
+    // pre-fault rate.
+    r.recovery_s = -1.0;
+    for (size_t i = 1; i < sample_t.size(); ++i) {
+      if (sample_t[i - 1] < t_fault_off) continue;
+      const double rps = static_cast<double>(sample_done[i] - sample_done[i - 1]) /
+                         (sample_t[i] - sample_t[i - 1]);
+      if (rps >= 0.7 * r.pre_fault_rps) {
+        r.recovery_s = sample_t[i] - t_fault_off;
+        break;
+      }
+    }
+  }
+  const serve::ServerMetrics m = rt.metrics();
+  r.submitted = m.submitted;
+  r.completed = m.completed;
+  r.failed = m.failed;
+  r.shed_unhealthy = m.shed_unhealthy;
+  for (const serve::ModelHealthSnapshot& s : m.models) {
+    r.breaker_opened += s.times_opened;
+  }
+  r.conserved = conserved && m.conserved() && m.in_flight == 0;
+  return r;
+}
+
 }  // namespace
 }  // namespace mpipu
 
@@ -176,15 +330,24 @@ int main(int argc, char** argv) {
   using namespace mpipu;
 
   bool smoke = false;
+  bool soak = false;
+  bool soak_faults = true;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
+    } else if (std::strcmp(argv[i], "--no-soak-faults") == 0) {
+      soak_faults = false;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
                                                           : "BENCH_server.json";
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json [path]]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json [path]] [--soak] "
+                   "[--no-soak-faults]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -341,6 +504,27 @@ int main(int argc, char** argv) {
               "hot-key stream, byte-identical to serial execution\n",
               speedup_zipf);
 
+  // --- Optional soak: fixed-duration stream with a mid-run fault window. --
+  SoakResult soak_r;
+  if (soak) {
+    const double soak_s = smoke ? 1.5 : 6.0;
+    std::printf("\nsoak: %.1f s zipf stream, fault window %s\n", soak_s,
+                soak_faults ? "in the middle third (throw=0.9)" : "DISABLED");
+    soak_r = run_soak(spec, model, catalog, soak_s, soak_faults);
+    std::printf("  pre-fault %.1f req/s | fault window %.1f req/s | "
+                "post-fault %.1f req/s\n",
+                soak_r.pre_fault_rps, soak_r.fault_rps, soak_r.post_fault_rps);
+    if (soak_faults) {
+      std::printf("  %llu injected failures, breaker opened %llu time(s), "
+                  "recovery to 70%% of pre-fault rate in %.2f s\n",
+                  static_cast<unsigned long long>(soak_r.failed),
+                  static_cast<unsigned long long>(soak_r.breaker_opened),
+                  soak_r.recovery_s);
+    }
+    std::printf("  metrics conserved across every sampled snapshot: %s\n",
+                soak_r.conserved ? "yes" : "NO");
+  }
+
   Json root = Json::object();
   root.set("bench", "server");
   root.set("smoke", smoke);
@@ -368,11 +552,14 @@ int main(int argc, char** argv) {
   root.set("open_loop_sweep", std::move(sweep_j));
   root.set("speedup_batched_vs_closed", speedup_zipf);
   root.set("bit_identical", bit_identical);
+  if (soak) root.set("soak", to_json(soak_r));
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << root.dump() << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return bit_identical ? 0 : 1;
+  // The soak's conservation audit is a correctness gate just like
+  // byte-identity: a non-balancing ledger fails the bench.
+  return (bit_identical && (!soak || soak_r.conserved)) ? 0 : 1;
 }

@@ -254,15 +254,24 @@ CompiledModel CompiledModel::compile(const GraphModel& model,
   return cm;
 }
 
-void CompiledModel::validate_input(const Tensor& input) const {
-  if (input.c != in_c_ || input.h != in_h_ || input.w != in_w_) {
-    throw std::invalid_argument(
-        "CompiledModel::run: input is " + std::to_string(input.c) + "x" +
-        std::to_string(input.h) + "x" + std::to_string(input.w) +
-        " but the model was compiled for " + std::to_string(in_c_) + "x" +
-        std::to_string(in_h_) + "x" + std::to_string(in_w_) +
-        " -- compile once per input geometry");
+std::string CompiledModel::input_geometry_mismatch(const Tensor& input) const {
+  if (input.c == in_c_ && input.h == in_h_ && input.w == in_w_ &&
+      input.data.size() ==
+          static_cast<size_t>(in_c_) * static_cast<size_t>(in_h_) *
+              static_cast<size_t>(in_w_)) {
+    return {};
   }
+  return "CompiledModel::run: input is " + std::to_string(input.c) + "x" +
+         std::to_string(input.h) + "x" + std::to_string(input.w) + " (" +
+         std::to_string(input.data.size()) +
+         " values) but the model was compiled for " + std::to_string(in_c_) +
+         "x" + std::to_string(in_h_) + "x" + std::to_string(in_w_) +
+         " -- compile once per input geometry";
+}
+
+void CompiledModel::validate_input(const Tensor& input) const {
+  const std::string mismatch = input_geometry_mismatch(input);
+  if (!mismatch.empty()) throw std::invalid_argument(mismatch);
 }
 
 std::shared_ptr<const std::vector<Tensor>> CompiledModel::reference_chain(

@@ -111,6 +111,12 @@ class CompiledModel {
   int input_c() const { return in_c_; }
   int input_h() const { return in_h_; }
   int input_w() const { return in_w_; }
+  /// Non-throwing geometry check: empty when `input` matches the compiled
+  /// input dims, else the exact message validate_input/run would throw.
+  /// Admission-time validation in the serving layer runs on this -- a bad
+  /// request is shed as a typed value before it can reach (and poison) a
+  /// batch.
+  std::string input_geometry_mismatch(const Tensor& input) const;
   /// Executable nodes: conv layers plus (for graphs) add/concat joins.
   size_t layer_count() const { return topo_.order.size() - 1; }
   /// True when compiled from a GraphModel (matches(Model) is then always

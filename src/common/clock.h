@@ -1,0 +1,82 @@
+// Virtual clock: the ONE time source of the serving layer.
+//
+// Deadline shedding, circuit-breaker cooldowns, watchdog stall budgets and
+// client retry backoff are all "compare now() against a budget" logic.
+// Against the real clock those tests are either slow (sleep through real
+// cooldowns) or flaky (assert that N milliseconds "should" have passed on
+// an arbitrarily loaded CI box).  Everything in src/serve therefore reads
+// time through this interface: production uses real_clock() (steady,
+// monotonic), tests plug a ManualClock whose time only moves when the test
+// advances it -- a 30 s breaker cooldown elapses in one advance() call,
+// deterministically.
+//
+// sleep_for() belongs to the same interface because backoff and fault
+// delays are "spend this much time": under ManualClock a sleep advances
+// virtual time instantly instead of stalling the test.
+//
+// NOT virtualized: condition-variable waits (the batching window's linger
+// uses the real cv clock -- waking a cv on virtual-time advance would need
+// a scheduler, not a clock).  Code mixing a cv wait with deadline checks
+// reads the deadline through the Clock and only uses real time for the
+// wait itself.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace mpipu {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds from an arbitrary fixed origin; monotonic, never decreases.
+  virtual double now() = 0;
+  /// Block the caller for `seconds` of THIS clock's time.
+  virtual void sleep_for(double seconds) = 0;
+};
+
+/// The production clock: std::chrono::steady_clock.  Stateless; one shared
+/// instance serves every caller.
+class SteadyClock final : public Clock {
+ public:
+  double now() override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void sleep_for(double seconds) override {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+inline Clock& real_clock() {
+  static SteadyClock clock;
+  return clock;
+}
+
+/// Test clock: time moves only when advance()d (or via sleep_for, which
+/// advances instead of blocking).  Thread-safe -- serving workers read
+/// now() while the test thread advances.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) : t_(start) {}
+
+  double now() override { return t_.load(std::memory_order_acquire); }
+
+  void sleep_for(double seconds) override { advance(seconds); }
+
+  void advance(double seconds) {
+    if (seconds <= 0.0) return;
+    double cur = t_.load(std::memory_order_relaxed);
+    while (!t_.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<double> t_;
+};
+
+}  // namespace mpipu

@@ -1,0 +1,108 @@
+#include "serve/fault.h"
+
+#include <cstdlib>
+
+namespace mpipu::serve {
+
+namespace {
+
+/// splitmix64: the stateless per-index generator behind the schedule.  Two
+/// different salts give independent draws for the throw and delay dice of
+/// one attempt.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(uint64_t h) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::decision_for(uint64_t attempt_index) const {
+  FaultDecision d;
+  if (!enabled()) return d;
+  if (attempt_index < cfg_.first_attempt || attempt_index >= cfg_.last_attempt) {
+    return d;
+  }
+  const uint64_t base = mix64(cfg_.seed) ^ attempt_index;
+  if (cfg_.throw_prob > 0.0 &&
+      uniform01(mix64(base ^ 0x7472686fULL)) < cfg_.throw_prob) {
+    d.kind = FaultDecision::Kind::kThrow;
+    return d;
+  }
+  if (cfg_.delay_prob > 0.0 &&
+      uniform01(mix64(base ^ 0x64656c61ULL)) < cfg_.delay_prob) {
+    d.kind = FaultDecision::Kind::kDelay;
+    d.delay_s = cfg_.delay_s;
+  }
+  return d;
+}
+
+FaultDecision FaultPlan::next_attempt() {
+  const uint64_t idx = next_attempt_.fetch_add(1, std::memory_order_acq_rel);
+  return decision_for(idx);
+}
+
+FaultPlan::Config FaultPlan::parse(const std::string& spec) {
+  Config cfg;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        cfg.seed = std::stoull(val);
+      } else if (key == "throw") {
+        cfg.throw_prob = std::stod(val);
+      } else if (key == "delay") {
+        const size_t colon = val.find(':');
+        if (colon == std::string::npos) {
+          throw std::invalid_argument("delay wants prob:seconds");
+        }
+        cfg.delay_prob = std::stod(val.substr(0, colon));
+        cfg.delay_s = std::stod(val.substr(colon + 1));
+      } else if (key == "stall") {
+        cfg.window_stall_s = std::stod(val);
+      } else if (key == "after") {
+        cfg.first_attempt = std::stoull(val);
+      } else if (key == "until") {
+        cfg.last_attempt = std::stoull(val);
+      } else {
+        throw std::invalid_argument("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultPlan: bad value in '" + item + "'");
+    }
+  }
+  if (cfg.throw_prob < 0.0 || cfg.throw_prob > 1.0 || cfg.delay_prob < 0.0 ||
+      cfg.delay_prob > 1.0 || cfg.delay_s < 0.0 || cfg.window_stall_s < 0.0) {
+    throw std::invalid_argument("FaultPlan: probabilities must be in [0,1], "
+                                "durations non-negative");
+  }
+  return cfg;
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("MPIPU_FAULT");
+  if (env == nullptr || env[0] == '\0') return nullptr;
+  return std::make_shared<FaultPlan>(parse(env));
+}
+
+}  // namespace mpipu::serve

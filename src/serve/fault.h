@@ -1,0 +1,112 @@
+// Deterministic fault injection for the serving runtime.
+//
+// The chaos wall (tests/test_serve_chaos.cpp) needs to make the runtime
+// fail on demand -- executions that throw, workers that stall, batch
+// windows that linger -- without patching the execution engine, and it
+// needs the SAME fault schedule on every run of a seed.  A FaultPlan is
+// that schedule: each execution attempt draws its fate from a stateless
+// hash of (seed, attempt index), so the decision for attempt #17 is the
+// same whichever worker thread gets there and however the scheduler
+// interleaves the others.
+//
+// The hooks are compiled in always and cost one atomic load when no plan
+// is installed (the default): ServingRuntime consults its configured plan
+// (ServerConfig::faults), falling back to the process-wide MPIPU_FAULT
+// environment plan so any serving binary can be chaos-tested without a
+// rebuild:
+//
+//   MPIPU_FAULT="seed=42,throw=0.2,delay=0.1:0.005,stall=0.002"
+//
+//   seed=N        schedule seed (default 1)
+//   throw=P       P(execution attempt throws InjectedFault)
+//   delay=P:S     P(worker sleeps S seconds before executing)
+//   stall=S       every batch window lingers S extra seconds pre-dispatch
+//   after=N       attempts before index N are never faulted
+//   until=N       attempts at/after index N are never faulted
+//
+// Injected failures flow through the SAME catch paths as real ones, so the
+// robustness machinery they exercise (per-request isolation, the circuit
+// breaker, the watchdog, client retries) never special-cases them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace mpipu::serve {
+
+/// The exception an injected kThrow raises inside the execution path.
+/// Derived from std::runtime_error, NOT std::invalid_argument: it models a
+/// transient execution failure (classified kExecError, breaker-visible),
+/// never a malformed request.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultDecision {
+  enum class Kind { kNone, kThrow, kDelay };
+  Kind kind = Kind::kNone;
+  double delay_s = 0.0;  ///< kDelay: how long the worker sleeps
+};
+
+class FaultPlan {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    double throw_prob = 0.0;  ///< P(attempt throws InjectedFault)
+    double delay_prob = 0.0;  ///< P(attempt sleeps delay_s first)
+    double delay_s = 0.0;
+    /// Extra pre-dispatch linger injected into every batch window while the
+    /// plan is enabled (stalls queued requests: deadlines expire, drains
+    /// race the window).
+    double window_stall_s = 0.0;
+    /// Fault only attempts with index in [first_attempt, last_attempt).
+    uint64_t first_attempt = 0;
+    uint64_t last_attempt = std::numeric_limits<uint64_t>::max();
+  };
+
+  FaultPlan() = default;  ///< no-op plan: every decision is kNone
+  explicit FaultPlan(Config cfg) : cfg_(cfg) {}
+
+  /// Parse MPIPU_FAULT (nullptr when unset/empty).  Throws
+  /// std::invalid_argument on a malformed spec -- a typo'd chaos knob must
+  /// not silently run a clean experiment.
+  static std::shared_ptr<FaultPlan> from_env();
+  /// Same grammar, explicit string (testable without setenv).
+  static Config parse(const std::string& spec);
+
+  /// Draw the fate of the next execution attempt and advance the attempt
+  /// counter.  Deterministic per index; thread-safe (the counter is the
+  /// only mutable state).
+  FaultDecision next_attempt();
+
+  /// Current window stall (0 while disabled).
+  double window_stall_s() const {
+    return enabled() ? cfg_.window_stall_s : 0.0;
+  }
+
+  /// Master switch: a disabled plan decides kNone for everything (the
+  /// attempt counter still advances, keeping schedules aligned).  Tests
+  /// flip this to end the fault phase and watch the runtime recover.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  uint64_t attempts() const {
+    return next_attempt_.load(std::memory_order_acquire);
+  }
+  const Config& config() const { return cfg_; }
+
+  /// The (pure) decision for one attempt index -- next_attempt() draws
+  /// from this; exposed so tests can assert schedule determinism.
+  FaultDecision decision_for(uint64_t attempt_index) const;
+
+ private:
+  Config cfg_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_attempt_{0};
+};
+
+}  // namespace mpipu::serve

@@ -1,0 +1,99 @@
+#include "serve/health.h"
+
+namespace mpipu::serve {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+AdmitDecision CircuitBreaker::admit(double now) {
+  if (cfg_.failure_threshold <= 0) return AdmitDecision::kAdmit;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return AdmitDecision::kAdmit;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < cfg_.open_cooldown_s) return AdmitDecision::kShed;
+      state_ = BreakerState::kHalfOpen;
+      probes_in_flight_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ < cfg_.half_open_probes) {
+        ++probes_in_flight_;
+        return AdmitDecision::kProbe;
+      }
+      return AdmitDecision::kShed;
+  }
+  return AdmitDecision::kAdmit;
+}
+
+void CircuitBreaker::release_probe() {
+  if (state_ == BreakerState::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+}
+
+void CircuitBreaker::open(double now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  probes_in_flight_ = 0;
+  ++times_opened_;
+}
+
+void CircuitBreaker::on_success(double) {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe proved the model out: full service resumes.
+    state_ = BreakerState::kClosed;
+    probes_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::on_failure(double now) {
+  ++consecutive_failures_;
+  switch (state_) {
+    case BreakerState::kHalfOpen:
+      // The probe failed (or a straggler admitted pre-open failed while we
+      // were probing -- conservative: the model has not proven itself).
+      open(now);
+      break;
+    case BreakerState::kClosed:
+      if (cfg_.failure_threshold > 0 &&
+          consecutive_failures_ >= cfg_.failure_threshold) {
+        open(now);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler from before the breaker opened; the cooldown stands.
+      break;
+  }
+}
+
+double CircuitBreaker::cooldown_remaining(double now) const {
+  if (state_ != BreakerState::kOpen) return 0.0;
+  const double left = cfg_.open_cooldown_s - (now - opened_at_);
+  return left > 0.0 ? left : 0.0;
+}
+
+Json ModelHealthSnapshot::to_json_value() const {
+  Json j = Json::object();
+  j.set("handle", handle);
+  j.set("model", model);
+  j.set("breaker", breaker_state_name(state));
+  j.set("consecutive_failures", consecutive_failures);
+  j.set("times_opened", static_cast<double>(times_opened));
+  j.set("cooldown_remaining_s", cooldown_remaining_s);
+  j.set("exec_failures", static_cast<double>(exec_failures));
+  j.set("bad_inputs", static_cast<double>(bad_inputs));
+  j.set("shed_unhealthy", static_cast<double>(shed_unhealthy));
+  j.set("stall_events", static_cast<double>(stall_events));
+  j.set("longest_exec_s", longest_exec_s);
+  j.set("currently_stalled", currently_stalled);
+  return j;
+}
+
+}  // namespace mpipu::serve

@@ -1,0 +1,117 @@
+// Per-model health: consecutive-failure circuit breaking + stall tracking.
+//
+// A model whose executions keep failing (bad weights, a kernel tripping an
+// assert, injected chaos) must stop costing queue slots and worker time:
+// after `failure_threshold` CONSECUTIVE execution failures the breaker
+// opens and submissions for that model shed Rejected{kUnhealthy}
+// immediately -- microseconds instead of a queue wait ending in another
+// failure.  After `open_cooldown_s` (virtual clock: tests elapse it in one
+// advance) the breaker half-opens: up to `half_open_probes` requests are
+// admitted as probes; one success closes the breaker (full service), one
+// failure re-opens it for another cooldown.
+//
+// The breaker sees only EXECUTION failures.  Bad input (kBadInput) is the
+// client's fault and never counts -- one buggy client must not take a
+// healthy model out of service for everyone else.
+//
+// CircuitBreaker is a plain state machine, NOT internally locked: the
+// runtime serializes access under its health mutex and passes now() in, so
+// the machine stays deterministic and directly unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+
+namespace mpipu::serve {
+
+struct CircuitBreakerConfig {
+  /// Consecutive execution failures that open the breaker.  0 disables
+  /// circuit breaking entirely (every admit() passes).
+  int failure_threshold = 5;
+  /// Open -> half-open after this much clock time.
+  double open_cooldown_s = 1.0;
+  /// Probe requests admitted concurrently while half-open.
+  int half_open_probes = 1;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+const char* breaker_state_name(BreakerState s);
+
+/// What admit() decided for one request.
+enum class AdmitDecision {
+  kShed,   ///< breaker open: shed kUnhealthy
+  kAdmit,  ///< closed: normal admission
+  kProbe,  ///< half-open: admitted as a probe (slot reserved)
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Admission decision for one request.  May transition kOpen ->
+  /// kHalfOpen when the cooldown has elapsed; a kProbe admission reserves
+  /// one of the half_open_probes slots.
+  AdmitDecision admit(double now);
+  /// A request admitted as a half-open probe that never reached execution
+  /// (shed later in the admission chain): return its probe slot.
+  void release_probe();
+
+  /// Execution outcomes.  Failures while half-open re-open immediately
+  /// (conservative: the model has not proven itself); successes while
+  /// half-open close.
+  void on_success(double now);
+  void on_failure(double now);
+
+  BreakerState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  uint64_t times_opened() const { return times_opened_; }
+  const CircuitBreakerConfig& config() const { return cfg_; }
+  /// Seconds of cooldown left while open (0 otherwise).
+  double cooldown_remaining(double now) const;
+
+ private:
+  void open(double now);
+
+  CircuitBreakerConfig cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_in_flight_ = 0;
+  double opened_at_ = 0.0;
+  uint64_t times_opened_ = 0;
+};
+
+/// One model's health as the runtime tracks it (guarded by the runtime's
+/// health mutex; snapshotted into ServerMetrics).
+struct ModelHealth {
+  CircuitBreaker breaker;
+  uint64_t exec_failures = 0;  ///< execution attempts that failed (kExecError)
+  uint64_t bad_inputs = 0;     ///< requests shed kBadInput (admission or exec)
+  uint64_t shed_unhealthy = 0;
+  /// Watchdog: dispatches whose execution exceeded the stall budget, and
+  /// the worst observed execution time.
+  uint64_t stall_events = 0;
+  double longest_exec_s = 0.0;
+};
+
+/// Point-in-time copy of one model's health for metrics()/JSON.
+struct ModelHealthSnapshot {
+  int handle = -1;
+  std::string model;
+  BreakerState state = BreakerState::kClosed;
+  int consecutive_failures = 0;
+  uint64_t times_opened = 0;
+  double cooldown_remaining_s = 0.0;
+  uint64_t exec_failures = 0;
+  uint64_t bad_inputs = 0;
+  uint64_t shed_unhealthy = 0;
+  uint64_t stall_events = 0;
+  double longest_exec_s = 0.0;
+  bool currently_stalled = false;  ///< executing right now, past the budget
+
+  Json to_json_value() const;
+};
+
+}  // namespace mpipu::serve

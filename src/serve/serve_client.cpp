@@ -1,0 +1,135 @@
+#include "serve/serve_client.h"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace mpipu::serve {
+
+ServeClient::ServeClient(ServingRuntime& runtime, RetryPolicy policy,
+                         uint64_t jitter_seed, Clock* clock)
+    : runtime_(runtime),
+      policy_(policy),
+      clock_(clock != nullptr ? clock : &runtime.clock()),
+      jitter_rng_(jitter_seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  if (policy_.backoff_multiplier < 1.0) policy_.backoff_multiplier = 1.0;
+  if (policy_.jitter < 0.0) policy_.jitter = 0.0;
+  if (policy_.jitter > 1.0) policy_.jitter = 1.0;
+}
+
+bool ServeClient::retryable(const RetryPolicy& policy, RejectReason r) {
+  switch (r) {
+    case RejectReason::kQueueFull: return policy.retry_queue_full;
+    case RejectReason::kUnhealthy: return policy.retry_unhealthy;
+    case RejectReason::kExecError: return policy.retry_exec_error;
+    case RejectReason::kDeadline: return policy.retry_deadline;
+    case RejectReason::kNone:
+    case RejectReason::kBadInput:   // deterministic: same request, same reject
+    case RejectReason::kShutdown:   // the service is going away
+      return false;
+  }
+  return false;
+}
+
+double ServeClient::backoff_s(int retry) {
+  double b = policy_.initial_backoff_s;
+  for (int i = 0; i < retry && b < policy_.max_backoff_s; ++i) {
+    b *= policy_.backoff_multiplier;
+  }
+  if (b > policy_.max_backoff_s) b = policy_.max_backoff_s;
+  if (policy_.jitter > 0.0 && b > 0.0) {
+    // Deterministic de-synchronization: scale into [1 - jitter, 1] with a
+    // draw from this client's seeded stream.
+    const double u = jitter_rng_.uniform(0.0, 1.0);
+    b *= 1.0 - policy_.jitter * u;
+  }
+  return b;
+}
+
+ServeResult ServeClient::call(ModelHandle h, const Tensor& input,
+                              const SubmitOptions& opts) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.calls;
+  }
+  ServeResult last;
+  for (int attempt = 0;; ++attempt) {
+    std::future<ServeResult> primary = runtime_.submit(h, input, opts);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.attempts;
+    }
+    bool hedge_won = false;
+    if (policy_.hedge_after_s ==
+        std::numeric_limits<double>::infinity()) {
+      last = primary.get();
+    } else if (primary.wait_for(std::chrono::duration<double>(
+                   policy_.hedge_after_s)) == std::future_status::ready) {
+      last = primary.get();
+    } else {
+      // The primary is stuck (deep queue, stalled batch): race a duplicate
+      // against it.  Both futures WILL resolve -- the runtime's
+      // exactly-once contract -- so take the first ok() of the two, or the
+      // primary's rejection once both have resolved.
+      std::future<ServeResult> hedge = runtime_.submit(h, input, opts);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.attempts;
+        ++stats_.hedges;
+      }
+      std::optional<ServeResult> pr, hr;
+      for (;;) {
+        if (!pr.has_value() &&
+            primary.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+          pr = primary.get();
+        }
+        if (!hr.has_value() &&
+            hedge.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+          hr = hedge.get();
+        }
+        if (pr.has_value() && pr->ok()) {
+          last = std::move(*pr);
+          break;
+        }
+        if (hr.has_value() && hr->ok()) {
+          last = std::move(*hr);
+          hedge_won = true;
+          break;
+        }
+        if (pr.has_value() && hr.has_value()) {
+          last = std::move(*pr);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    if (last.ok() || !retryable(policy_, last.rejected)) {
+      if (hedge_won) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.hedge_wins;
+      }
+      return last;
+    }
+    if (attempt + 1 >= policy_.max_attempts) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.gave_up;
+      return last;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.retries;
+    }
+    clock_->sleep_for(backoff_s(attempt));
+  }
+}
+
+ClientStats ServeClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace mpipu::serve

@@ -1,0 +1,96 @@
+// ServeClient: the retry policy callers should wrap around submit().
+//
+// The runtime sheds overload as typed values (kQueueFull, kUnhealthy,
+// kExecError...) precisely so a client can react per reason instead of
+// catching exceptions blindly.  This is that client:
+//
+//   * bounded retries with exponential backoff + deterministic jitter --
+//     a shed request waits initial_backoff_s * multiplier^attempt (capped),
+//     scaled by a seeded jitter draw so a thundering herd of clients
+//     de-synchronizes reproducibly;
+//   * per-reason retry gates: queue-full / unhealthy / exec-error are
+//     transient (retry by default); bad-input is deterministic and
+//     deadline means the budget is already spent (never retried by
+//     default);
+//   * optional hedging: if the primary future has not resolved within
+//     hedge_after_s, submit a duplicate and take whichever completes ok
+//     first.  Against this runtime hedging is unusually cheap: if both
+//     copies land in one batch window, dispatch-time coalescing executes
+//     them ONCE.
+//
+// All waiting flows through the runtime's Clock, so backoff schedules are
+// testable under a ManualClock (virtual seconds, zero wall time).  The
+// client is thread-compatible: use one instance per calling thread, or
+// external synchronization (stats are the only shared mutable state and
+// are internally locked).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "serve/serving_runtime.h"
+
+namespace mpipu::serve {
+
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 3;
+  double initial_backoff_s = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 1.0;
+  /// Jitter fraction in [0, 1]: each backoff is scaled by a uniform draw
+  /// from [1 - jitter, 1].  0 = deterministic full backoff.
+  double jitter = 0.5;
+  /// Which typed rejections are worth another attempt.
+  bool retry_queue_full = true;
+  bool retry_unhealthy = true;
+  bool retry_exec_error = true;
+  bool retry_deadline = false;  ///< the request's own budget is spent
+  /// Hedging: duplicate the request if the primary has not resolved within
+  /// this much REAL time (infinity = off).  Only worth enabling with
+  /// coalescing on -- twins in one window execute once.
+  double hedge_after_s = std::numeric_limits<double>::infinity();
+};
+
+struct ClientStats {
+  uint64_t calls = 0;     ///< call() invocations
+  uint64_t attempts = 0;  ///< submissions, including hedges
+  uint64_t retries = 0;   ///< attempts after a retryable rejection
+  uint64_t hedges = 0;    ///< duplicate submissions issued
+  uint64_t hedge_wins = 0;  ///< calls where the hedge resolved ok first
+  uint64_t gave_up = 0;   ///< calls returning a rejection after max_attempts
+};
+
+class ServeClient {
+ public:
+  /// `clock` defaults to the runtime's clock (backoff sleeps advance a
+  /// ManualClock instantly in tests).
+  ServeClient(ServingRuntime& runtime, RetryPolicy policy,
+              uint64_t jitter_seed = 1, Clock* clock = nullptr);
+
+  /// Submit with retries/backoff/hedging until ok(), a non-retryable
+  /// rejection, or max_attempts.  Returns the LAST attempt's result.
+  /// Throws std::out_of_range only for a bad handle (caller bug).
+  ServeResult call(ModelHandle h, const Tensor& input,
+                   const SubmitOptions& opts = {});
+
+  /// True when `policy` retries rejection `r`.
+  static bool retryable(const RetryPolicy& policy, RejectReason r);
+  /// The backoff before retry number `retry` (0-based), jitter applied --
+  /// exposed so tests can pin the schedule.
+  double backoff_s(int retry);
+
+  ClientStats stats() const;
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  ServingRuntime& runtime_;
+  RetryPolicy policy_;
+  Clock* clock_;
+  Rng jitter_rng_;
+  mutable std::mutex stats_mu_;
+  ClientStats stats_;
+};
+
+}  // namespace mpipu::serve

@@ -9,12 +9,6 @@ namespace mpipu::serve {
 
 namespace {
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 /// Latency samples kept for the percentile digest.  A runtime serving past
 /// this simply stops recording samples (counters keep counting); at bench
 /// and test scale the cap is never approached.
@@ -28,6 +22,9 @@ const char* reject_reason_name(RejectReason r) {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kDeadline: return "deadline";
     case RejectReason::kShutdown: return "shutdown";
+    case RejectReason::kBadInput: return "bad_input";
+    case RejectReason::kUnhealthy: return "unhealthy";
+    case RejectReason::kExecError: return "exec_error";
   }
   return "?";
 }
@@ -39,13 +36,25 @@ Json ServerMetrics::to_json_value() const {
   j.set("shed_queue_full", static_cast<double>(shed_queue_full));
   j.set("shed_deadline", static_cast<double>(shed_deadline));
   j.set("shed_shutdown", static_cast<double>(shed_shutdown));
+  j.set("shed_bad_input", static_cast<double>(shed_bad_input));
+  j.set("shed_unhealthy", static_cast<double>(shed_unhealthy));
+  j.set("failed", static_cast<double>(failed));
+  j.set("in_flight", static_cast<double>(in_flight));
+  j.set("conserved", conserved());
   j.set("coalesced", static_cast<double>(coalesced));
   j.set("batches", static_cast<double>(batches));
+  j.set("isolation_fallbacks", static_cast<double>(isolation_fallbacks));
+  j.set("watchdog_stalls", static_cast<double>(watchdog_stalls));
   j.set("queue_high_water", static_cast<double>(queue_high_water));
   j.set("mean_batch_size", mean_batch_size);
   Json hist = Json::array();
   for (uint64_t v : batch_size_hist) hist.push(static_cast<double>(v));
   j.set("batch_size_hist", std::move(hist));
+  Json model_health = Json::array();
+  for (const ModelHealthSnapshot& s : models) {
+    model_health.push(s.to_json_value());
+  }
+  j.set("models", std::move(model_health));
   j.set("elapsed_s", elapsed_s);
   j.set("throughput_rps", throughput_rps);
   Json lat = Json::object();
@@ -65,8 +74,12 @@ ServingRuntime::ServingRuntime(RunSpec spec, ServerConfig cfg)
   if (cfg_.queue_capacity < 1) cfg_.queue_capacity = 1;
   if (cfg_.max_batch < 1) cfg_.max_batch = 1;
   if (cfg_.max_models < 1) cfg_.max_models = 1;
+  clock_ = cfg_.clock != nullptr ? cfg_.clock : &real_clock();
+  // Chaos hooks are compiled in always: an explicitly configured plan wins,
+  // else MPIPU_FAULT, else a null plan (every hook a no-op).
+  faults_ = cfg_.faults != nullptr ? cfg_.faults : FaultPlan::from_env();
   counters_.batch_size_hist.assign(static_cast<size_t>(cfg_.max_batch) + 1, 0);
-  start_t_ = now_seconds();
+  start_t_ = clock_->now();
   workers_.reserve(static_cast<size_t>(cfg_.workers));
   for (int w = 0; w < cfg_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -75,35 +88,57 @@ ServingRuntime::ServingRuntime(RunSpec spec, ServerConfig cfg)
 
 ServingRuntime::~ServingRuntime() { shutdown(Shutdown::kDrain); }
 
+ModelHealth& ServingRuntime::health_entry(ModelHandle h) {
+  auto it = health_.find(h);
+  if (it == health_.end()) {
+    it = health_.emplace(h, ModelHealth{CircuitBreaker(cfg_.breaker)}).first;
+  }
+  return it->second;
+}
+
 template <typename ModelT>
 ModelHandle ServingRuntime::load_impl(const ModelT& model, int input_h,
                                       int input_w) {
-  std::lock_guard<std::mutex> lock(models_mu_);
-  for (size_t i = 0; i < models_.size(); ++i) {
-    const LoadedModel& m = models_[i];
-    if (m.compiled->input_h() == input_h && m.compiled->input_w() == input_w &&
-        m.compiled->matches(model)) {
-      // LRU refresh: a re-loaded model moves to the back (eviction takes
-      // the front).
-      if (i + 1 != models_.size()) {
-        std::rotate(models_.begin() + static_cast<ptrdiff_t>(i),
-                    models_.begin() + static_cast<ptrdiff_t>(i) + 1,
-                    models_.end());
+  ModelHandle handle;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(models_mu_);
+    for (size_t i = 0; i < models_.size(); ++i) {
+      const LoadedModel& m = models_[i];
+      if (m.compiled->input_h() == input_h &&
+          m.compiled->input_w() == input_w && m.compiled->matches(model)) {
+        // LRU refresh: a re-loaded model moves to the back (eviction takes
+        // the front).
+        if (i + 1 != models_.size()) {
+          std::rotate(models_.begin() + static_cast<ptrdiff_t>(i),
+                      models_.begin() + static_cast<ptrdiff_t>(i) + 1,
+                      models_.end());
+        }
+        return models_.back().handle;
       }
-      return models_.back().handle;
     }
+    CompileOptions opts;
+    opts.input_h = input_h;
+    opts.input_w = input_w;
+    // Compile before evicting: a throwing compile must not cost a cached
+    // plan.
+    auto compiled = std::make_shared<const CompiledModel>(
+        CompiledModel::compile(model, spec_, opts));
+    if (models_.size() >= cfg_.max_models) {
+      models_.erase(models_.begin());
+    }
+    name = compiled->model_name();
+    models_.push_back({next_handle_++, std::move(compiled)});
+    handle = models_.back().handle;
   }
-  CompileOptions opts;
-  opts.input_h = input_h;
-  opts.input_w = input_w;
-  // Compile before evicting: a throwing compile must not cost a cached plan.
-  auto compiled = std::make_shared<const CompiledModel>(
-      CompiledModel::compile(model, spec_, opts));
-  if (models_.size() >= cfg_.max_models) {
-    models_.erase(models_.begin());
+  // Health is born with the model (so metrics list it before any traffic)
+  // and deliberately survives eviction: breaker history is diagnosis data.
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_entry(handle);
+    model_names_[handle] = std::move(name);
   }
-  models_.push_back({next_handle_++, std::move(compiled)});
-  return models_.back().handle;
+  return handle;
 }
 
 ModelHandle ServingRuntime::load(const Model& model, int input_h,
@@ -137,18 +172,36 @@ std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
   p.model = model(h);  // throws out_of_range for a bad handle (caller bug)
   p.handle = h;
   p.input = std::move(input);
-  p.enqueue_t = now_seconds();
+  p.enqueue_t = clock_->now();
   if (opts.timeout_s < std::numeric_limits<double>::infinity()) {
     p.deadline = p.enqueue_t + opts.timeout_s;
   }
   std::future<ServeResult> fut = p.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++counters_.submitted;
-  }
 
+  // Admission chain: bad input -> breaker -> queue.  Each stage sheds a
+  // typed value; nothing on this path throws.
   RejectReason reject = RejectReason::kNone;
-  {
+  std::string error;
+  if (cfg_.validate_at_admission) {
+    error = p.model->input_geometry_mismatch(p.input);
+    if (!error.empty()) reject = RejectReason::kBadInput;
+  }
+  if (reject == RejectReason::kNone && cfg_.breaker.failure_threshold > 0) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ModelHealth& hh = health_entry(h);
+    switch (hh.breaker.admit(p.enqueue_t)) {
+      case AdmitDecision::kShed:
+        reject = RejectReason::kUnhealthy;
+        ++hh.shed_unhealthy;
+        break;
+      case AdmitDecision::kProbe:
+        p.probe = true;
+        break;
+      case AdmitDecision::kAdmit:
+        break;
+    }
+  }
+  if (reject == RejectReason::kNone) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       reject = RejectReason::kShutdown;
@@ -168,10 +221,39 @@ std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
       queue_high_water_ = std::max(queue_high_water_, queue_.size());
     }
   }
+  if (reject != RejectReason::kNone &&
+      (p.probe || reject == RejectReason::kBadInput)) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ModelHealth& hh = health_entry(h);
+    // A probe that never reached the queue returns its slot so the next
+    // submission can probe instead.
+    if (p.probe) hh.breaker.release_probe();
+    if (reject == RejectReason::kBadInput) ++hh.bad_inputs;
+  }
+  {
+    // submitted and its outcome move under ONE lock acquisition, so the
+    // conservation invariant holds at every instant, not just at rest.
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.submitted;
+    switch (reject) {
+      case RejectReason::kNone: ++counters_.in_flight; break;
+      case RejectReason::kQueueFull: ++counters_.shed_queue_full; break;
+      case RejectReason::kShutdown: ++counters_.shed_shutdown; break;
+      case RejectReason::kBadInput: ++counters_.shed_bad_input; break;
+      case RejectReason::kUnhealthy: ++counters_.shed_unhealthy; break;
+      case RejectReason::kDeadline:
+      case RejectReason::kExecError:
+        break;  // never decided at admission
+    }
+  }
   if (reject == RejectReason::kNone) {
     queue_cv_.notify_one();
   } else {
-    resolve_rejected(std::move(p), reject);
+    ServeResult r;
+    r.rejected = reject;
+    r.error = std::move(error);
+    r.total_s = clock_->now() - p.enqueue_t;
+    p.promise.set_value(std::move(r));
   }
   return fut;
 }
@@ -181,20 +263,62 @@ ServeResult ServingRuntime::serve(ModelHandle h, Tensor input,
   return submit(h, std::move(input), opts).get();
 }
 
-void ServingRuntime::resolve_rejected(Pending&& p, RejectReason reason) {
+void ServingRuntime::resolve_in_flight_rejected(Pending&& p,
+                                                RejectReason reason) {
+  if (p.probe) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_entry(p.handle).breaker.release_probe();
+  }
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
+    --counters_.in_flight;
     switch (reason) {
-      case RejectReason::kQueueFull: ++counters_.shed_queue_full; break;
       case RejectReason::kDeadline: ++counters_.shed_deadline; break;
       case RejectReason::kShutdown: ++counters_.shed_shutdown; break;
-      case RejectReason::kNone: break;
+      default: break;  // exec outcomes are accounted in execute_batch
     }
   }
   ServeResult r;
   r.rejected = reason;
-  r.total_s = now_seconds() - p.enqueue_t;
+  r.total_s = clock_->now() - p.enqueue_t;
   p.promise.set_value(std::move(r));
+}
+
+void ServingRuntime::maybe_inject_fault() {
+  if (faults_ == nullptr) return;
+  const FaultDecision d = faults_->next_attempt();
+  switch (d.kind) {
+    case FaultDecision::Kind::kNone:
+      return;
+    case FaultDecision::Kind::kDelay:
+      clock_->sleep_for(d.delay_s);
+      return;
+    case FaultDecision::Kind::kThrow:
+      throw InjectedFault("injected execution fault (FaultPlan seed " +
+                          std::to_string(faults_->config().seed) + ")");
+  }
+}
+
+void ServingRuntime::record_outcome(ModelHealth& health,
+                                    const SlotOutcome& outcome, bool probe,
+                                    double now) {
+  switch (outcome.reason) {
+    case RejectReason::kNone:
+      health.breaker.on_success(now);
+      break;
+    case RejectReason::kExecError:
+      ++health.exec_failures;
+      health.breaker.on_failure(now);
+      break;
+    case RejectReason::kBadInput:
+      // The client's fault, not the model's: the breaker learns nothing,
+      // but a probe slot spent on it frees up for a real probe.
+      ++health.bad_inputs;
+      if (probe) health.breaker.release_probe();
+      break;
+    default:
+      break;
+  }
 }
 
 void ServingRuntime::gather_same_model(std::vector<Pending>& batch) {
@@ -255,14 +379,20 @@ void ServingRuntime::worker_loop() {
 
 void ServingRuntime::execute_batch(std::vector<Pending>& batch,
                                    ThreadPool& pool) {
-  const double dispatch_t = now_seconds();
+  // Injected window stall: the leader hangs before dispatch, exactly like
+  // a genuinely stuck batch -- queued deadlines keep expiring behind it.
+  if (faults_ != nullptr) {
+    const double stall = faults_->window_stall_s();
+    if (stall > 0.0) clock_->sleep_for(stall);
+  }
+  const double dispatch_t = clock_->now();
 
   // Dispatch-time deadline shedding: expired requests never execute.
   std::vector<Pending> live;
   live.reserve(batch.size());
   for (Pending& p : batch) {
     if (dispatch_t > p.deadline) {
-      resolve_rejected(std::move(p), RejectReason::kDeadline);
+      resolve_in_flight_rejected(std::move(p), RejectReason::kDeadline);
     } else {
       live.push_back(std::move(p));
     }
@@ -290,28 +420,88 @@ void ServingRuntime::execute_batch(std::vector<Pending>& batch,
     }
   }
 
-  // One run_batch call for the whole window, on this worker's long-lived
-  // pool.  Invalid geometry surfaces here, NOT as an exception out of the
-  // worker: resolve every request exceptionally instead of dying.
-  BatchRunReport reports;
-  try {
-    reports = live.front().model->run_batch(inputs, cfg_.run_options, pool);
-  } catch (...) {
-    const std::exception_ptr err = std::current_exception();
-    for (Pending& p : live) p.promise.set_exception(err);
-    return;
+  const ModelHandle handle = live.front().handle;
+  const CompiledModel& model = *live.front().model;
+
+  // Watchdog registration: metrics() can see this dispatch as currently
+  // stalled while it runs.
+  uint64_t exec_id;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    exec_id = next_exec_id_++;
+    active_execs_.push_back({exec_id, handle, dispatch_t});
   }
-  const double done_t = now_seconds();
+
+  // One run_batch call for the whole window, on this worker's long-lived
+  // pool.  If ANYTHING throws out of it -- one bad input (admission
+  // validation off), an injected fault, a real execution failure -- the
+  // batch falls back to per-request execution so the failure is isolated:
+  // batchmates complete ok(), only the faulting request resolves with a
+  // typed error.  The worker itself never dies.
+  std::vector<SlotOutcome> outcomes(inputs.size());
+  BatchRunReport reports;
+  bool fell_back = false;
+  try {
+    maybe_inject_fault();
+    reports = model.run_batch(inputs, cfg_.run_options, pool);
+  } catch (...) {
+    fell_back = true;
+    reports.runs.clear();
+    reports.runs.resize(inputs.size());
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      try {
+        maybe_inject_fault();
+        reports.runs[s] = model.run(inputs[s], cfg_.run_options, pool);
+      } catch (const std::invalid_argument& e) {
+        outcomes[s] = {RejectReason::kBadInput, e.what()};
+      } catch (const std::exception& e) {
+        outcomes[s] = {RejectReason::kExecError, e.what()};
+      } catch (...) {
+        outcomes[s] = {RejectReason::kExecError, "unknown execution failure"};
+      }
+    }
+  }
+  const double done_t = clock_->now();
+  const double exec_s = done_t - dispatch_t;
+  const bool stalled = cfg_.stall_budget_s > 0.0 && exec_s > cfg_.stall_budget_s;
 
   // First twin of each slot executed; later twins are coalesced fan-outs.
-  uint64_t coalesced_here = 0;
   std::vector<bool> was_coalesced(live.size(), false);
   {
     std::vector<bool> slot_used(inputs.size(), false);
     for (size_t i = 0; i < live.size(); ++i) {
       was_coalesced[i] = slot_used[slot_of[i]];
-      if (was_coalesced[i]) ++coalesced_here;
       slot_used[slot_of[i]] = true;
+    }
+  }
+
+  uint64_t n_ok = 0, n_exec_err = 0, n_bad = 0, coalesced_ok = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    switch (outcomes[slot_of[i]].reason) {
+      case RejectReason::kNone:
+        ++n_ok;
+        if (was_coalesced[i]) ++coalesced_ok;
+        break;
+      case RejectReason::kExecError: ++n_exec_err; break;
+      case RejectReason::kBadInput: ++n_bad; break;
+      default: break;
+    }
+  }
+
+  // Health bookkeeping: watchdog + breaker, one lock acquisition.
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    for (size_t i = 0; i < active_execs_.size(); ++i) {
+      if (active_execs_[i].id == exec_id) {
+        active_execs_.erase(active_execs_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    ModelHealth& hh = health_entry(handle);
+    if (stalled) ++hh.stall_events;
+    if (exec_s > hh.longest_exec_s) hh.longest_exec_s = exec_s;
+    for (size_t i = 0; i < live.size(); ++i) {
+      record_outcome(hh, outcomes[slot_of[i]], live[i].probe, done_t);
     }
   }
 
@@ -319,40 +509,52 @@ void ServingRuntime::execute_batch(std::vector<Pending>& batch,
   // its own completion in the very next metrics() snapshot.
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
-    counters_.completed += live.size();
-    counters_.coalesced += coalesced_here;
+    counters_.in_flight -= live.size();
+    counters_.completed += n_ok;
+    counters_.failed += n_exec_err;
+    counters_.shed_bad_input += n_bad;
+    counters_.coalesced += coalesced_ok;
     ++counters_.batches;
+    if (fell_back) ++counters_.isolation_fallbacks;
+    if (stalled) ++counters_.watchdog_stalls;
     const size_t b = std::min(live.size(),
                               counters_.batch_size_hist.size() - 1);
     ++counters_.batch_size_hist[b];
-    for (const Pending& p : live) {
-      if (latencies_.size() < kMaxLatencySamples) {
-        latencies_.push_back(done_t - p.enqueue_t);
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (outcomes[slot_of[i]].reason == RejectReason::kNone &&
+          latencies_.size() < kMaxLatencySamples) {
+        latencies_.push_back(done_t - live[i].enqueue_t);
       }
     }
   }
 
   for (size_t i = 0; i < live.size(); ++i) {
     Pending& p = live[i];
+    const SlotOutcome& oc = outcomes[slot_of[i]];
     ServeResult r;
-    r.rejected = RejectReason::kNone;
-    r.batch_size = static_cast<int>(live.size());
-    r.coalesced = was_coalesced[i];
-    // The last twin of each slot may move the report; earlier ones copy.
-    const bool last_use =
-        [&] {
-          for (size_t j = i + 1; j < live.size(); ++j) {
-            if (slot_of[j] == slot_of[i]) return false;
-          }
-          return true;
-        }();
-    if (last_use) {
-      r.report = std::move(reports.runs[slot_of[i]]);
-    } else {
-      r.report = reports.runs[slot_of[i]];
-    }
     r.queue_wait_s = dispatch_t - p.enqueue_t;
     r.total_s = done_t - p.enqueue_t;
+    if (oc.reason == RejectReason::kNone) {
+      r.rejected = RejectReason::kNone;
+      r.batch_size = static_cast<int>(live.size());
+      r.coalesced = was_coalesced[i];
+      // The last twin of each slot may move the report; earlier ones copy.
+      const bool last_use =
+          [&] {
+            for (size_t j = i + 1; j < live.size(); ++j) {
+              if (slot_of[j] == slot_of[i]) return false;
+            }
+            return true;
+          }();
+      if (last_use) {
+        r.report = std::move(reports.runs[slot_of[i]]);
+      } else {
+        r.report = reports.runs[slot_of[i]];
+      }
+    } else {
+      r.rejected = oc.reason;
+      r.error = oc.error;
+    }
     p.promise.set_value(std::move(r));
   }
 }
@@ -372,7 +574,7 @@ void ServingRuntime::shutdown(Shutdown mode) {
   }
   queue_cv_.notify_all();
   for (Pending& p : dropped) {
-    resolve_rejected(std::move(p), RejectReason::kShutdown);
+    resolve_in_flight_rejected(std::move(p), RejectReason::kShutdown);
   }
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -391,8 +593,36 @@ ServerMetrics ServingRuntime::metrics() const {
     std::lock_guard<std::mutex> lock(mu_);
     m.queue_high_water = queue_high_water_;
   }
+  const double now = clock_->now();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    for (const auto& [handle, hh] : health_) {
+      ModelHealthSnapshot s;
+      s.handle = handle;
+      const auto name_it = model_names_.find(handle);
+      if (name_it != model_names_.end()) s.model = name_it->second;
+      s.state = hh.breaker.state();
+      s.consecutive_failures = hh.breaker.consecutive_failures();
+      s.times_opened = hh.breaker.times_opened();
+      s.cooldown_remaining_s = hh.breaker.cooldown_remaining(now);
+      s.exec_failures = hh.exec_failures;
+      s.bad_inputs = hh.bad_inputs;
+      s.shed_unhealthy = hh.shed_unhealthy;
+      s.stall_events = hh.stall_events;
+      s.longest_exec_s = hh.longest_exec_s;
+      if (cfg_.stall_budget_s > 0.0) {
+        for (const ActiveExec& e : active_execs_) {
+          if (e.handle == handle && now - e.start_t > cfg_.stall_budget_s) {
+            s.currently_stalled = true;
+            break;
+          }
+        }
+      }
+      m.models.push_back(std::move(s));
+    }
+  }
   m.latency = summarize_latencies(std::move(lats));
-  m.elapsed_s = now_seconds() - start_t_;
+  m.elapsed_s = now - start_t_;
   m.throughput_rps =
       m.elapsed_s > 0.0 ? static_cast<double>(m.completed) / m.elapsed_s : 0.0;
   m.mean_batch_size =

@@ -12,6 +12,14 @@
 //   * a bounded MPMC request queue with typed overload shedding: a full
 //     queue (global or per-model admission cap) resolves the future
 //     IMMEDIATELY with Rejected{kQueueFull} -- the hot path never throws;
+//   * admission-time input validation: submit() checks the request tensor
+//     against the compiled geometry and resolves Rejected{kBadInput} on
+//     the spot, so a malformed request can never reach (let alone poison)
+//     a batch.  If a bad input does surface at execution anyway
+//     (validate_at_admission = false, or a genuine execution fault), the
+//     failure is ISOLATED: the batch re-executes per request, batchmates
+//     complete ok(), and only the faulting request resolves with a typed
+//     error;
 //   * a dynamic batching window per worker: the worker takes the oldest
 //     request as batch leader, gathers queued same-model requests up to
 //     `max_batch`, and optionally lingers `batch_window_s` for more before
@@ -20,19 +28,37 @@
 //     dispatch time are shed as Rejected{kDeadline} without executing;
 //   * dispatch-time coalescing: byte-identical same-model inputs inside a
 //     batch execute ONCE and fan the (deterministic, hence exact) report
-//     out to every twin -- the serving-layer analogue of CompiledModel's
-//     per-input reference cache.  Load-adaptive by construction: saturation
-//     deepens the queue, deeper queues widen the window, wider windows
-//     collapse more duplicates exactly when capacity is scarcest;
+//     out to every twin;
+//   * per-model health: a consecutive-failure circuit breaker (serve/
+//     health.h) sheds Rejected{kUnhealthy} in microseconds while a model
+//     keeps failing, half-open probes restore service after the cooldown;
+//     a watchdog counts dispatches whose execution blew the stall budget.
+//     Both are visible in ServerMetrics (and its JSON);
+//   * deterministic fault injection (serve/fault.h): a seeded FaultPlan --
+//     configured or via MPIPU_FAULT -- can throw inside execution, delay a
+//     worker, or stall the batch window.  Compiled in always, no-op when
+//     absent; injected failures take the SAME paths as real ones;
 //   * graceful shutdown: kDrain completes every accepted request first,
 //     kAbort finishes only in-flight batches and resolves everything still
-//     queued as Rejected{kShutdown}.  Every future is resolved exactly
-//     once, whatever path it takes.
+//     queued as Rejected{kShutdown}.
+//
+// CONTRACT: every future resolves exactly once with a TYPED outcome --
+// futures never carry exceptions, whatever faults fire.  The metrics
+// conserve at every instant:
+//
+//   submitted == completed + shed_queue_full + shed_deadline
+//              + shed_shutdown + shed_bad_input + shed_unhealthy
+//              + failed + in_flight
+//
+// (ServerMetrics::conserved()).  All time flows through common/clock.h, so
+// deadline/cooldown/backoff behavior is deterministic under a ManualClock.
 //
 // Batched execution is byte-identical to one-at-a-time CompiledModel::run
 // (outputs, per-layer stats, cycles): run_batch runs each input through the
 // same deterministic executor, and coalescing only ever reuses the report
-// of an identical input.  tests/test_serving_runtime.cpp pins all of it.
+// of an identical input.  tests/test_serving_runtime.cpp pins the serving
+// semantics; tests/test_serve_chaos.cpp pins the fault-tolerance contract
+// under randomized fault schedules.
 #pragma once
 
 #include <condition_variable>
@@ -40,26 +66,36 @@
 #include <deque>
 #include <future>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/compiled_model.h"
 #include "api/json.h"
+#include "common/clock.h"
 #include "common/percentile.h"
+#include "serve/fault.h"
+#include "serve/health.h"
 
 namespace mpipu::serve {
 
-/// Why a request did not produce a report.  Overload outcomes are VALUES,
-/// not exceptions: the hot path resolves the future with one of these and
-/// keeps serving.
+/// Why a request did not produce a report.  ALL failure outcomes are
+/// VALUES, not exceptions: the hot path resolves the future with one of
+/// these and keeps serving.
 enum class RejectReason {
   kNone,       ///< not rejected: the report is valid
   kQueueFull,  ///< shed at admission (global queue or per-model cap full)
   kDeadline,   ///< deadline had passed when a worker reached the request
   kShutdown,   ///< runtime stopping: submitted after shutdown, or queued at
                ///< shutdown(kAbort)
+  kBadInput,   ///< request tensor does not match the compiled geometry
+               ///< (shed at admission, or isolated at execution)
+  kUnhealthy,  ///< circuit breaker open for the model: failing fast
+  kExecError,  ///< this request's execution failed (transient or injected
+               ///< fault); batchmates were isolated and completed
 };
 const char* reject_reason_name(RejectReason r);
 
@@ -86,6 +122,23 @@ struct ServerConfig {
   /// Execute byte-identical same-model inputs in a batch once, fanning the
   /// report out (exact: execution is deterministic).
   bool coalesce_identical = true;
+  /// Check request geometry against the compiled plan at submit() --
+  /// Rejected{kBadInput} immediately, nothing bad ever queues.  Off, a bad
+  /// input surfaces at execution and exercises the per-request isolation
+  /// path instead (the regression tests do exactly that).
+  bool validate_at_admission = true;
+  /// Per-model circuit breaker (failure_threshold = 0 disables).
+  CircuitBreakerConfig breaker;
+  /// Watchdog: a dispatch whose EXECUTION takes longer than this is
+  /// counted as a stall (metrics: watchdog_stalls, per-model
+  /// stall_events / currently_stalled).  0 disables.
+  double stall_budget_s = 0.0;
+  /// Fault injection plan; nullptr falls back to MPIPU_FAULT (and to a
+  /// no-op when that is unset).
+  std::shared_ptr<FaultPlan> faults;
+  /// Time source; nullptr = the real steady clock.  Tests install a
+  /// ManualClock to elapse deadlines and breaker cooldowns instantly.
+  Clock* clock = nullptr;
   /// Options every request executes with.  Serving defaults: no FP32
   /// shadow chain, no cycle-sim estimate.
   RunOptions run_options{.compare_reference = false, .with_estimate = false};
@@ -105,6 +158,9 @@ struct SubmitOptions {
 struct ServeResult {
   RejectReason rejected = RejectReason::kShutdown;
   bool ok() const { return rejected == RejectReason::kNone; }
+  /// kBadInput / kExecError: what went wrong (the exception text the
+  /// execution path produced).  Empty for the overload sheds.
+  std::string error;
   /// Valid when ok(): the same per-request RunReport a direct
   /// CompiledModel::run would have produced (byte-identical).
   RunReport report;
@@ -124,16 +180,32 @@ struct ServerMetrics {
   uint64_t shed_queue_full = 0;
   uint64_t shed_deadline = 0;
   uint64_t shed_shutdown = 0;
+  uint64_t shed_bad_input = 0;
+  uint64_t shed_unhealthy = 0;
+  uint64_t failed = 0;      ///< requests resolved kExecError
+  uint64_t in_flight = 0;   ///< accepted (queued or executing), unresolved
   uint64_t coalesced = 0;   ///< completed requests served via an identical twin
   uint64_t batches = 0;     ///< run_batch dispatches
+  uint64_t isolation_fallbacks = 0;  ///< batches re-executed per request
+  uint64_t watchdog_stalls = 0;      ///< dispatches past the stall budget
   size_t queue_high_water = 0;  ///< deepest the queue has been
   /// batch_size_hist[b] = batches that executed exactly b requests
   /// (index 0 unused).
   std::vector<uint64_t> batch_size_hist;
+  /// Per-loaded-model health: breaker state, failure counts, stalls.
+  std::vector<ModelHealthSnapshot> models;
   LatencySummary latency;   ///< total_s of completed requests
   double elapsed_s = 0.0;   ///< since runtime construction
   double throughput_rps = 0.0;    ///< completed / elapsed
   double mean_batch_size = 0.0;   ///< completed / batches
+
+  /// Every submission accounted for, exactly once: the invariant the chaos
+  /// wall asserts on every snapshot.
+  bool conserved() const {
+    return submitted == completed + shed_queue_full + shed_deadline +
+                            shed_shutdown + shed_bad_input + shed_unhealthy +
+                            failed + in_flight;
+  }
 
   Json to_json_value() const;
 };
@@ -166,10 +238,11 @@ class ServingRuntime {
   std::shared_ptr<const CompiledModel> model(ModelHandle h) const;
   size_t loaded_count() const;
 
-  /// Enqueue one request.  Never throws for overload or shutdown -- those
-  /// resolve the returned future immediately with the typed rejection.
-  /// Throws std::out_of_range only for an unknown/evicted handle (a caller
-  /// bug, not a load condition).
+  /// Enqueue one request.  Never throws for overload, bad input, an
+  /// unhealthy model or shutdown -- those resolve the returned future
+  /// immediately with the typed rejection, and execution failures resolve
+  /// it later as kExecError.  Throws std::out_of_range only for an
+  /// unknown/evicted handle (a caller bug, not a load condition).
   std::future<ServeResult> submit(ModelHandle h, Tensor input,
                                   const SubmitOptions& opts = {});
 
@@ -184,6 +257,7 @@ class ServingRuntime {
   ServerMetrics metrics() const;
   const ServerConfig& config() const { return cfg_; }
   const RunSpec& spec() const { return spec_; }
+  Clock& clock() const { return *clock_; }
 
  private:
   struct Pending {
@@ -194,11 +268,17 @@ class ServingRuntime {
     Tensor input;
     double enqueue_t = 0.0;
     double deadline = std::numeric_limits<double>::infinity();
+    bool probe = false;  ///< admitted as a half-open breaker probe
     std::promise<ServeResult> promise;
   };
   struct LoadedModel {
     ModelHandle handle = -1;
     std::shared_ptr<const CompiledModel> compiled;
+  };
+  /// How one unique (post-coalescing) input slot fared at execution.
+  struct SlotOutcome {
+    RejectReason reason = RejectReason::kNone;
+    std::string error;
   };
 
   template <typename ModelT>
@@ -208,10 +288,24 @@ class ServingRuntime {
   /// max_batch.  Caller holds mu_.
   void gather_same_model(std::vector<Pending>& batch);
   void execute_batch(std::vector<Pending>& batch, ThreadPool& pool);
-  void resolve_rejected(Pending&& p, RejectReason reason);
+  /// Resolve an accepted (in-flight) request with a non-exec rejection:
+  /// returns its probe slot, decrements in_flight, counts the shed.
+  void resolve_in_flight_rejected(Pending&& p, RejectReason reason);
+  /// Consult the fault plan for one execution attempt: maybe delay the
+  /// worker, maybe throw InjectedFault.
+  void maybe_inject_fault();
+  /// The health record behind a handle, created on demand with the
+  /// configured breaker.  Caller holds health_mu_.
+  ModelHealth& health_entry(ModelHandle h);
+  /// Record one request's execution outcome in its model's health (caller
+  /// holds health_mu_).
+  void record_outcome(ModelHealth& health, const SlotOutcome& outcome,
+                      bool probe, double now);
 
   RunSpec spec_;
   ServerConfig cfg_;
+  Clock* clock_ = nullptr;
+  std::shared_ptr<FaultPlan> faults_;  ///< may be null (no-op)
   double start_t_ = 0.0;
 
   /// Plan cache (guarded by models_mu_): LRU order, most recent at back.
@@ -226,8 +320,23 @@ class ServingRuntime {
   size_t queue_high_water_ = 0;
   bool stopping_ = false;
 
+  /// Per-model health + the watchdog's active-execution table (guarded by
+  /// health_mu_; never held together with another runtime mutex).
+  struct ActiveExec {
+    uint64_t id = 0;
+    ModelHandle handle = -1;
+    double start_t = 0.0;
+  };
+  mutable std::mutex health_mu_;
+  std::map<ModelHandle, ModelHealth> health_;
+  std::map<ModelHandle, std::string> model_names_;
+  std::vector<ActiveExec> active_execs_;
+  uint64_t next_exec_id_ = 0;
+
   /// Counters and the latency record (guarded by metrics_mu_; never held
-  /// together with mu_).
+  /// together with mu_).  Every submission is accounted under ONE lock
+  /// acquisition -- submitted and its outcome (in_flight or a shed
+  /// counter) move together, so conserved() holds at every instant.
   mutable std::mutex metrics_mu_;
   ServerMetrics counters_;
   std::vector<double> latencies_;

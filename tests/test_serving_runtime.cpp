@@ -11,6 +11,15 @@
 //    still-queued ones as kShutdown, submissions after shutdown are
 //    rejected immediately;
 //  * the load() plan cache: content dedup, LRU eviction, handle lifetime;
+//  * fault tolerance: admission-time bad-input shedding, per-request
+//    isolation of a poisoned batch, the circuit breaker's full
+//    open/half-open/closed cycle under a ManualClock, the watchdog's stall
+//    accounting, and shutdown racing a lingering batch window;
+//  * the conservation invariant -- every submission accounted for, exactly
+//    once, in every metrics() snapshot including mid-flight ones;
+//  * FaultPlan schedule determinism and the MPIPU_FAULT grammar;
+//  * ServeClient retry/backoff/give-up behavior (virtual clock: the whole
+//    backoff schedule runs in zero wall time);
 //  * traffic synthesis (open-loop schedules) and the shared nearest-rank
 //    percentile helper.
 //
@@ -18,12 +27,19 @@
 // that add up) -- the tests must pass on any scheduler.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/percentile.h"
 #include "common/rng.h"
+#include "serve/fault.h"
+#include "serve/health.h"
+#include "serve/serve_client.h"
 #include "serve/serving_runtime.h"
 #include "serve/traffic.h"
 
@@ -366,11 +382,552 @@ TEST(ServingRuntime, MetricsJsonHasTheContractKeys) {
   const std::string json = rt.metrics().to_json_value().dump();
   for (const char* key :
        {"\"submitted\"", "\"completed\"", "\"shed_queue_full\"",
-        "\"shed_deadline\"", "\"shed_shutdown\"", "\"coalesced\"",
-        "\"batches\"", "\"queue_high_water\"", "\"batch_size_hist\"",
-        "\"p50_s\"", "\"p95_s\"", "\"p99_s\"", "\"throughput_rps\""}) {
+        "\"shed_deadline\"", "\"shed_shutdown\"", "\"shed_bad_input\"",
+        "\"shed_unhealthy\"", "\"failed\"", "\"in_flight\"", "\"conserved\"",
+        "\"coalesced\"", "\"batches\"", "\"isolation_fallbacks\"",
+        "\"watchdog_stalls\"", "\"queue_high_water\"", "\"batch_size_hist\"",
+        "\"models\"", "\"breaker\"", "\"times_opened\"",
+        "\"currently_stalled\"", "\"p50_s\"", "\"p95_s\"", "\"p99_s\"",
+        "\"throughput_rps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: validation, isolation, breaker, watchdog, fault plans,
+// and the retry client.
+// ---------------------------------------------------------------------------
+
+TEST(ServingFaults, BadInputShedsAtAdmissionWithoutExecuting) {
+  Rng rng(7101);
+  const Model fast = fast_model(rng);
+  ServingRuntime rt(serving_spec());
+  const ModelHandle h = rt.load(fast, 10, 10);
+
+  // Wrong geometry: shed immediately, typed, with the mismatch message.
+  const ServeResult wrong_shape =
+      rt.serve(h, random_tensor(rng, 3, 8, 8, ValueDist::kHalfNormal, 1.0));
+  EXPECT_EQ(wrong_shape.rejected, RejectReason::kBadInput);
+  EXPECT_FALSE(wrong_shape.error.empty());
+  EXPECT_EQ(wrong_shape.batch_size, 0);
+
+  // Right shape but a short data vector: also caught at admission.
+  Tensor torn = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+  torn.data.pop_back();
+  EXPECT_EQ(rt.serve(h, torn).rejected, RejectReason::kBadInput);
+
+  const ServerMetrics m = rt.metrics();
+  EXPECT_EQ(m.shed_bad_input, 2u);
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_EQ(m.batches, 0u);  // nothing ever executed
+  EXPECT_TRUE(m.conserved());
+  ASSERT_EQ(m.models.size(), 1u);
+  EXPECT_EQ(m.models[0].bad_inputs, 2u);
+  // Bad input is the client's fault: the breaker stays closed.
+  EXPECT_EQ(m.models[0].state, BreakerState::kClosed);
+}
+
+TEST(ServingFaults, BadBatchmateIsIsolatedNotPoisoning) {
+  Rng rng(7102);
+  const Model slow = slow_model(rng);
+  const Model fast = fast_model(rng);
+  const Tensor plug = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+  const Tensor good_a = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+  const Tensor good_b = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+  const Tensor bad = random_tensor(rng, 3, 8, 8, ValueDist::kHalfNormal, 1.0);
+
+  // The regression this pins: before per-request isolation, ONE bad input
+  // reaching run_batch failed every batchmate.  Admission validation is
+  // turned OFF so the bad tensor actually reaches execution.
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.validate_at_admission = false;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle hs = rt.load(slow, 16, 16);
+  const ModelHandle hf = rt.load(fast, 10, 10);
+  const RunReport want_a = rt.model(hf)->run(good_a, cfg.run_options);
+  const RunReport want_b = rt.model(hf)->run(good_b, cfg.run_options);
+
+  // Plug the worker so good_a, bad, good_b queue up into one batch.
+  std::future<ServeResult> plug_fut = rt.submit(hs, plug);
+  std::future<ServeResult> fa = rt.submit(hf, good_a);
+  std::future<ServeResult> fbad = rt.submit(hf, bad);
+  std::future<ServeResult> fb = rt.submit(hf, good_b);
+  ASSERT_TRUE(plug_fut.get().ok());
+
+  const ServeResult ra = fa.get();
+  const ServeResult rbad = fbad.get();
+  const ServeResult rb = fb.get();
+
+  // The bad request resolves typed (never an exception on the future)...
+  EXPECT_EQ(rbad.rejected, RejectReason::kBadInput);
+  EXPECT_FALSE(rbad.error.empty());
+  // ...and its batchmates complete ok, byte-identical to direct runs.
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.report.output.data, want_a.output.data);
+  EXPECT_EQ(rb.report.output.data, want_b.output.data);
+  EXPECT_EQ(ra.batch_size, 3);  // all three shared the dispatch
+
+  const ServerMetrics m = rt.metrics();
+  EXPECT_GE(m.isolation_fallbacks, 1u);
+  EXPECT_EQ(m.shed_bad_input, 1u);
+  EXPECT_EQ(m.completed, 3u);  // plug + the two good batchmates
+  EXPECT_EQ(m.in_flight, 0u);
+  EXPECT_TRUE(m.conserved());
+}
+
+TEST(ServingFaults, ConservationInvariantHoldsMidFlight) {
+  Rng rng(7103);
+  const Model slow = slow_model(rng);
+  const Tensor input = random_tensor(rng, 3, 16, 16, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 4;
+  cfg.max_batch = 2;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(slow, 16, 16);
+
+  // A metrics reader hammers snapshots while a saturating client submits:
+  // conserved() must hold in EVERY snapshot, not just at rest.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (!rt.metrics().conserved()) {
+        violations.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  });
+
+  constexpr int kRequests = 32;
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < kRequests; ++i) futs.push_back(rt.submit(h, input));
+  uint64_t ok = 0, shed = 0;
+  for (auto& f : futs) {
+    if (f.get().ok()) ++ok; else ++shed;
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  const ServerMetrics m = rt.metrics();
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.in_flight, 0u);  // at rest, nothing is unaccounted
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(m.completed, ok);
+  EXPECT_EQ(m.shed_queue_full, shed);
+}
+
+TEST(ServingFaults, BreakerOpensFastShedsAndRecoversViaProbe) {
+  Rng rng(7104);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  ManualClock clock;
+  auto faults = std::make_shared<FaultPlan>(
+      FaultPlan::Config{.seed = 1, .throw_prob = 1.0});
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_cooldown_s = 5.0;
+  cfg.faults = faults;
+  cfg.clock = &clock;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(fast, 10, 10);
+
+  // Every execution attempt throws: three consecutive failures open the
+  // breaker.
+  for (int i = 0; i < 3; ++i) {
+    const ServeResult r = rt.serve(h, input);
+    EXPECT_EQ(r.rejected, RejectReason::kExecError) << "request " << i;
+    EXPECT_FALSE(r.error.empty());
+  }
+  {
+    const ServerMetrics m = rt.metrics();
+    ASSERT_EQ(m.models.size(), 1u);
+    EXPECT_EQ(m.models[0].state, BreakerState::kOpen);
+    EXPECT_EQ(m.models[0].times_opened, 1u);
+    EXPECT_EQ(m.failed, 3u);
+    EXPECT_GT(m.models[0].cooldown_remaining_s, 0.0);
+  }
+
+  // Open breaker: submissions fail fast as kUnhealthy, nothing executes.
+  const uint64_t batches_before = rt.metrics().batches;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt.serve(h, input).rejected, RejectReason::kUnhealthy);
+  }
+  EXPECT_EQ(rt.metrics().batches, batches_before);
+  EXPECT_EQ(rt.metrics().shed_unhealthy, 4u);
+
+  // Cooldown elapses (one virtual advance), faults clear: the next request
+  // is the half-open probe, succeeds, and closes the breaker.
+  clock.advance(cfg.breaker.open_cooldown_s + 0.1);
+  faults->set_enabled(false);
+  EXPECT_TRUE(rt.serve(h, input).ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(rt.serve(h, input).ok());
+
+  const ServerMetrics m = rt.metrics();
+  EXPECT_EQ(m.models[0].state, BreakerState::kClosed);
+  EXPECT_EQ(m.models[0].consecutive_failures, 0);
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.in_flight, 0u);
+}
+
+TEST(ServingFaults, WatchdogCountsStallsAgainstTheBudget) {
+  Rng rng(7105);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  // Every execution is delayed 50 virtual ms against a 5 ms budget; under
+  // the ManualClock the delay is an instant advance, so the test sees
+  // deterministic stalls in zero wall time.
+  ManualClock clock;
+  auto faults = std::make_shared<FaultPlan>(
+      FaultPlan::Config{.seed = 2, .delay_prob = 1.0, .delay_s = 0.05});
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.stall_budget_s = 0.005;
+  cfg.faults = faults;
+  cfg.clock = &clock;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(fast, 10, 10);
+
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(rt.serve(h, input).ok());
+
+  const ServerMetrics m = rt.metrics();
+  EXPECT_EQ(m.watchdog_stalls, 3u);
+  ASSERT_EQ(m.models.size(), 1u);
+  EXPECT_EQ(m.models[0].stall_events, 3u);
+  EXPECT_GE(m.models[0].longest_exec_s, 0.05);
+  EXPECT_FALSE(m.models[0].currently_stalled);  // nothing executing now
+  // A stall is slowness, not failure: the breaker never saw a thing.
+  EXPECT_EQ(m.models[0].state, BreakerState::kClosed);
+  EXPECT_EQ(m.failed, 0u);
+}
+
+TEST(ServingFaults, DrainRacesTheBatchWindow) {
+  Rng rng(7106);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  // A 30 s batch window would block a naive drain for 30 s.  The leader
+  // must abandon the linger when stopping_ flips and execute what it has.
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 8;
+  cfg.batch_window_s = 30.0;
+  auto rt = std::make_unique<ServingRuntime>(serving_spec(), cfg);
+  const ModelHandle h = rt->load(fast, 10, 10);
+
+  std::future<ServeResult> fut = rt->submit(h, input);
+  // Give the leader a moment to enter the window, then drain under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  rt->shutdown(ServingRuntime::Shutdown::kDrain);
+  const double shutdown_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  EXPECT_TRUE(fut.get().ok());  // drain completes the accepted request
+  EXPECT_LT(shutdown_s, 10.0);  // and does NOT sit out the 30 s window
+  const ServerMetrics m = rt->metrics();
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.in_flight, 0u);
+  rt.reset();
+}
+
+TEST(ServingFaults, AbortRacesTheBatchWindow) {
+  Rng rng(7107);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 8;
+  cfg.batch_window_s = 30.0;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(fast, 10, 10);
+
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(rt.submit(h, input));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.shutdown(ServingRuntime::Shutdown::kAbort);
+  const double shutdown_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(shutdown_s, 10.0);
+
+  // Whatever the leader had gathered completes; the rest shed kShutdown.
+  // Either way every future resolves typed.
+  uint64_t ok = 0, shed = 0;
+  for (auto& f : futs) {
+    const ServeResult r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.rejected, RejectReason::kShutdown);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 4u);
+  const ServerMetrics m = rt.metrics();
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.in_flight, 0u);
+  EXPECT_EQ(m.completed, ok);
+  EXPECT_EQ(m.shed_shutdown, shed);
+}
+
+TEST(FaultPlan, ScheduleIsDeterministicPerSeed) {
+  FaultPlan::Config cfg;
+  cfg.seed = 42;
+  cfg.throw_prob = 0.3;
+  cfg.delay_prob = 0.3;
+  cfg.delay_s = 0.001;
+  FaultPlan a(cfg), b(cfg);
+
+  // Same seed, same fate for every index -- whichever thread asks.
+  int throws = 0, delays = 0;
+  for (uint64_t i = 0; i < 512; ++i) {
+    const FaultDecision da = a.decision_for(i);
+    const FaultDecision db = b.decision_for(i);
+    EXPECT_EQ(static_cast<int>(da.kind), static_cast<int>(db.kind)) << i;
+    if (da.kind == FaultDecision::Kind::kThrow) ++throws;
+    if (da.kind == FaultDecision::Kind::kDelay) {
+      ++delays;
+      EXPECT_EQ(da.delay_s, 0.001);
+    }
+  }
+  // ~30% each at n = 512: loose bounds, but never zero and never all.
+  EXPECT_GT(throws, 64);
+  EXPECT_LT(throws, 448);
+  EXPECT_GT(delays, 32);
+
+  // A different seed produces a different schedule somewhere.
+  cfg.seed = 43;
+  FaultPlan c(cfg);
+  bool differs = false;
+  for (uint64_t i = 0; i < 512 && !differs; ++i) {
+    differs = static_cast<int>(a.decision_for(i).kind) !=
+              static_cast<int>(c.decision_for(i).kind);
+  }
+  EXPECT_TRUE(differs);
+
+  // next_attempt() walks the same schedule in index order.
+  EXPECT_EQ(static_cast<int>(a.next_attempt().kind),
+            static_cast<int>(b.decision_for(0).kind));
+  EXPECT_EQ(static_cast<int>(a.next_attempt().kind),
+            static_cast<int>(b.decision_for(1).kind));
+  EXPECT_EQ(a.attempts(), 2u);
+}
+
+TEST(FaultPlan, WindowEnableAndParseGrammar) {
+  // after/until fence the faulted index range.
+  FaultPlan::Config cfg;
+  cfg.throw_prob = 1.0;
+  cfg.first_attempt = 4;
+  cfg.last_attempt = 6;
+  FaultPlan plan(cfg);
+  for (uint64_t i = 0; i < 10; ++i) {
+    const bool faulted =
+        plan.decision_for(i).kind == FaultDecision::Kind::kThrow;
+    EXPECT_EQ(faulted, i >= 4 && i < 6) << i;
+  }
+
+  // Disabled: everything is kNone, but the counter still advances so
+  // re-enabling stays schedule-aligned.
+  plan.set_enabled(false);
+  EXPECT_EQ(static_cast<int>(plan.next_attempt().kind),
+            static_cast<int>(FaultDecision::Kind::kNone));
+  EXPECT_EQ(plan.attempts(), 1u);
+  EXPECT_EQ(plan.window_stall_s(), 0.0);
+
+  // The MPIPU_FAULT grammar.
+  const FaultPlan::Config parsed =
+      FaultPlan::parse("seed=9,throw=0.25,delay=0.5:0.002,stall=0.01,after=3,until=100");
+  EXPECT_EQ(parsed.seed, 9u);
+  EXPECT_EQ(parsed.throw_prob, 0.25);
+  EXPECT_EQ(parsed.delay_prob, 0.5);
+  EXPECT_EQ(parsed.delay_s, 0.002);
+  EXPECT_EQ(parsed.window_stall_s, 0.01);
+  EXPECT_EQ(parsed.first_attempt, 3u);
+  EXPECT_EQ(parsed.last_attempt, 100u);
+
+  // A typo'd chaos knob must not silently run a clean experiment.
+  EXPECT_THROW(FaultPlan::parse("thorw=0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("throw"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("throw=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("delay=0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("delay=0.5:-1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=banana"), std::invalid_argument);
+}
+
+TEST(CircuitBreakerUnit, FullOpenHalfOpenClosedCycle) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_cooldown_s = 10.0;
+  cfg.half_open_probes = 1;
+  CircuitBreaker br(cfg);
+
+  // Closed: admits; one failure is not enough.
+  EXPECT_EQ(br.admit(0.0), AdmitDecision::kAdmit);
+  br.on_failure(0.0);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  // A success resets the consecutive count.
+  br.on_success(0.5);
+  EXPECT_EQ(br.consecutive_failures(), 0);
+  // Two consecutive failures open it.
+  br.on_failure(1.0);
+  br.on_failure(1.5);
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 1u);
+  EXPECT_NEAR(br.cooldown_remaining(2.0), 9.5, 1e-12);
+
+  // During the cooldown: shed.  A straggler failure does not restart it.
+  EXPECT_EQ(br.admit(5.0), AdmitDecision::kShed);
+  br.on_failure(6.0);
+  EXPECT_EQ(br.times_opened(), 1u);
+
+  // Cooldown over: exactly one probe slot; the second concurrent request
+  // sheds until the probe resolves.
+  EXPECT_EQ(br.admit(12.0), AdmitDecision::kProbe);
+  EXPECT_EQ(br.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(br.admit(12.0), AdmitDecision::kShed);
+  // The probe fails: re-open for another cooldown.
+  br.on_failure(12.5);
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 2u);
+
+  // Second cooldown, this time the probe never executes (shed later in the
+  // admission chain): release_probe frees the slot for the next request.
+  EXPECT_EQ(br.admit(23.0), AdmitDecision::kProbe);
+  br.release_probe();
+  EXPECT_EQ(br.admit(23.0), AdmitDecision::kProbe);
+  // The probe succeeds: closed, full service.
+  br.on_success(23.5);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  EXPECT_EQ(br.admit(24.0), AdmitDecision::kAdmit);
+
+  // threshold = 0 disables the breaker entirely.
+  CircuitBreaker off(CircuitBreakerConfig{.failure_threshold = 0});
+  for (int i = 0; i < 10; ++i) off.on_failure(static_cast<double>(i));
+  EXPECT_EQ(off.admit(100.0), AdmitDecision::kAdmit);
+  EXPECT_EQ(off.state(), BreakerState::kClosed);
+}
+
+TEST(ServeClientUnit, BackoffScheduleAndRetryGates) {
+  Rng rng(7108);
+  const Model fast = fast_model(rng);
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.clock = &clock;
+  ServingRuntime rt(serving_spec(), cfg);
+  rt.load(fast, 10, 10);
+
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 0.04;
+  policy.jitter = 0.0;
+  ServeClient client(rt, policy);
+
+  // jitter = 0: the schedule is the pure capped exponential.
+  EXPECT_DOUBLE_EQ(client.backoff_s(0), 0.01);
+  EXPECT_DOUBLE_EQ(client.backoff_s(1), 0.02);
+  EXPECT_DOUBLE_EQ(client.backoff_s(2), 0.04);
+  EXPECT_DOUBLE_EQ(client.backoff_s(3), 0.04);  // capped
+
+  // With jitter, every draw lands in [1 - jitter, 1] x base and two
+  // differently-seeded clients de-synchronize.
+  RetryPolicy jp = policy;
+  jp.jitter = 0.5;
+  ServeClient j1(rt, jp, /*jitter_seed=*/11), j2(rt, jp, /*jitter_seed=*/22);
+  bool differed = false;
+  for (int i = 0; i < 16; ++i) {
+    const double b1 = j1.backoff_s(0), b2 = j2.backoff_s(0);
+    EXPECT_GE(b1, 0.005 - 1e-12);
+    EXPECT_LE(b1, 0.01 + 1e-12);
+    if (b1 != b2) differed = true;
+  }
+  EXPECT_TRUE(differed);
+
+  // The per-reason gates.
+  EXPECT_TRUE(ServeClient::retryable(policy, RejectReason::kQueueFull));
+  EXPECT_TRUE(ServeClient::retryable(policy, RejectReason::kUnhealthy));
+  EXPECT_TRUE(ServeClient::retryable(policy, RejectReason::kExecError));
+  EXPECT_FALSE(ServeClient::retryable(policy, RejectReason::kDeadline));
+  EXPECT_FALSE(ServeClient::retryable(policy, RejectReason::kBadInput));
+  EXPECT_FALSE(ServeClient::retryable(policy, RejectReason::kShutdown));
+  EXPECT_FALSE(ServeClient::retryable(policy, RejectReason::kNone));
+}
+
+TEST(ServeClientUnit, RetriesThroughTransientFaultsThenGivesUp) {
+  Rng rng(7109);
+  const Model fast = fast_model(rng);
+  const Tensor input = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
+  const Tensor bad = random_tensor(rng, 3, 8, 8, ValueDist::kHalfNormal, 1.0);
+
+  // Each serve() burns two fault-plan attempts when it fails (the batch
+  // attempt, then the per-request isolation attempt): until=4 means the
+  // first two calls fail and the third succeeds.
+  ManualClock clock;
+  auto faults = std::make_shared<FaultPlan>(
+      FaultPlan::Config{.seed = 3, .throw_prob = 1.0, .last_attempt = 4});
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.breaker.failure_threshold = 0;  // isolate retry behavior from breaking
+  cfg.faults = faults;
+  cfg.clock = &clock;
+  ServingRuntime rt(serving_spec(), cfg);
+  const ModelHandle h = rt.load(fast, 10, 10);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  ServeClient client(rt, policy);
+
+  // Transient failures: attempt 1 and 2 fail, attempt 3 succeeds -- and the
+  // backoff sleeps advanced the ManualClock instead of wall time.
+  const double t0 = clock.now();
+  const ServeResult r = client.call(h, input);
+  EXPECT_TRUE(r.ok());
+  EXPECT_NEAR(clock.now() - t0, 0.01 + 0.02, 1e-9);
+  ClientStats s = client.stats();
+  EXPECT_EQ(s.calls, 1u);
+  EXPECT_EQ(s.attempts, 3u);
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.gave_up, 0u);
+
+  // A deterministic rejection is never retried.
+  const ServeResult rb = client.call(h, bad);
+  EXPECT_EQ(rb.rejected, RejectReason::kBadInput);
+  s = client.stats();
+  EXPECT_EQ(s.calls, 2u);
+  EXPECT_EQ(s.attempts, 4u);  // exactly one more submission
+  EXPECT_EQ(s.gave_up, 0u);
+
+  // Permanent faults: the client retries max_attempts times, then returns
+  // the last typed rejection.
+  auto forever = std::make_shared<FaultPlan>(
+      FaultPlan::Config{.seed = 4, .throw_prob = 1.0});
+  ServerConfig cfg2 = cfg;
+  cfg2.faults = forever;
+  ServingRuntime rt2(serving_spec(), cfg2);
+  const ModelHandle h2 = rt2.load(fast, 10, 10);
+  ServeClient client2(rt2, policy);
+  const ServeResult rf = client2.call(h2, input);
+  EXPECT_EQ(rf.rejected, RejectReason::kExecError);
+  const ClientStats s2 = client2.stats();
+  EXPECT_EQ(s2.attempts, 3u);
+  EXPECT_EQ(s2.gave_up, 1u);
+  EXPECT_TRUE(rt2.metrics().conserved());
 }
 
 TEST(Traffic, PoissonArrivalsAreAscendingDeterministicAndRateTrue) {
