@@ -277,7 +277,7 @@ void CompiledModel::validate_input(const Tensor& input) const {
 std::shared_ptr<const std::vector<Tensor>> CompiledModel::reference_chain(
     const Tensor& input) const {
   {
-    std::lock_guard<std::mutex> lock(ref_cache_->mu);
+    MutexLock lock(ref_cache_->mu);
     for (const auto& e : ref_cache_->entries) {
       if (e.first == input.data) return e.second;
     }
@@ -286,7 +286,7 @@ std::shared_ptr<const std::vector<Tensor>> CompiledModel::reference_chain(
   // not serialize on the (expensive) reference convolutions.
   auto refs = std::make_shared<std::vector<Tensor>>(
       graph_reference_outputs(nodes_, topo_, input));
-  std::lock_guard<std::mutex> lock(ref_cache_->mu);
+  MutexLock lock(ref_cache_->mu);
   for (const auto& e : ref_cache_->entries) {
     // A racing caller beat us to it; both chains are deterministic and
     // identical -- keep theirs so the cache holds one entry per input.

@@ -43,7 +43,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +51,7 @@
 #include "api/model.h"
 #include "api/run_report.h"
 #include "api/run_spec.h"
+#include "common/annotated_mutex.h"
 #include "common/thread_pool.h"
 #include "nn/conv_plan.h"
 
@@ -71,14 +71,16 @@ class CompiledModel {
   /// geometry.  Throws std::invalid_argument on a weightless model, a
   /// policy asking for INT on a datapath that does not support it, missing
   /// input dims, or a layer chain whose output collapses to nothing.
-  static CompiledModel compile(const Model& model, const RunSpec& spec,
-                               const CompileOptions& opts);
+  [[nodiscard]] static CompiledModel compile(const Model& model,
+                                             const RunSpec& spec,
+                                             const CompileOptions& opts);
 
   /// Graph counterpart: additionally validates the full topology
   /// (acyclicity, single input/output, join shape agreement) via
   /// analyze_graph before anything is baked.
-  static CompiledModel compile(const GraphModel& model, const RunSpec& spec,
-                               const CompileOptions& opts);
+  [[nodiscard]] static CompiledModel compile(const GraphModel& model,
+                                             const RunSpec& spec,
+                                             const CompileOptions& opts);
 
   /// One forward pass against the immutable plan.  Thread-safe: every call
   /// owns its scratch (a private pool of spec().threads workers -- created
@@ -116,7 +118,7 @@ class CompiledModel {
   /// Admission-time validation in the serving layer runs on this -- a bad
   /// request is shed as a typed value before it can reach (and poison) a
   /// batch.
-  std::string input_geometry_mismatch(const Tensor& input) const;
+  [[nodiscard]] std::string input_geometry_mismatch(const Tensor& input) const;
   /// Executable nodes: conv layers plus (for graphs) add/concat joins.
   size_t layer_count() const { return topo_.order.size() - 1; }
   /// True when compiled from a GraphModel (matches(Model) is then always
@@ -160,10 +162,10 @@ class CompiledModel {
   /// CompiledModel stays movable; guarded by its own mutex so run() is
   /// reentrant.
   struct RefCache {
-    std::mutex mu;
+    Mutex mu;
     std::vector<std::pair<std::vector<double>,
                           std::shared_ptr<const std::vector<Tensor>>>>
-        entries;
+        entries MPIPU_GUARDED_BY(mu);
   };
 
   static CompiledModel compile_nodes(std::vector<GraphNode> nodes,

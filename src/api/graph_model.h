@@ -82,8 +82,8 @@ struct GraphTopology {
   int input_c = 0;
 };
 
-GraphTopology analyze_graph(const std::vector<GraphNode>& nodes, int input_h,
-                            int input_w);
+[[nodiscard]] GraphTopology analyze_graph(const std::vector<GraphNode>& nodes,
+                                          int input_h, int input_w);
 
 class GraphModel {
  public:

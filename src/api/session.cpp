@@ -38,7 +38,7 @@ std::shared_ptr<const CompiledModel> Session::compiled_for(const ModelT& model,
   // first-use runs race safely (the loser re-finds the winner's entry); the
   // returned shared_ptr keeps the plan alive even if another thread evicts
   // it before the caller finishes executing.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   for (size_t i = 0; i < compiled_cache_.size(); ++i) {
     const CacheEntry& e = compiled_cache_[i];
     if (e.compiled->input_h() == input_h && e.compiled->input_w() == input_w &&
@@ -74,7 +74,7 @@ RunReport Session::run_compiled(const CompiledModel& compiled,
   // per-call pool of the same width instead of queueing -- byte-identical
   // output by thread-count invariance, and spec.threads == 1 (the serving
   // default) makes the fallback pool threadless and effectively free.
-  std::unique_lock<std::mutex> pool_lock(pool_mu_, std::try_to_lock);
+  TryMutexLock pool_lock(pool_mu_);
   if (pool_lock.owns_lock()) {
     return compiled.run(input, opts, pool_);
   }

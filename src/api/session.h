@@ -31,7 +31,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "api/model.h"
 #include "api/run_report.h"
 #include "api/run_spec.h"
+#include "common/annotated_mutex.h"
 #include "common/thread_pool.h"
 #include "sim/cycle_sim.h"
 #include "sim/tile.h"
@@ -57,14 +57,15 @@ class Session {
   /// CompiledModel is self-contained (shares nothing with this Session) and
   /// safe for concurrent callers.  Throws std::invalid_argument on a
   /// weightless model, an unsupported INT layer, or missing input dims.
-  CompiledModel compile(const Model& model, const CompileOptions& opts) const;
+  [[nodiscard]] CompiledModel compile(const Model& model,
+                                      const CompileOptions& opts) const;
   /// Graph counterpart (api/graph_model.h): additionally validates the DAG
   /// topology -- acyclicity, single input/output, channel agreement into
   /// convs, shape agreement at add/concat joins -- before anything is
   /// baked.  Independent branches of the compiled graph execute in
   /// parallel over the running pool.
-  CompiledModel compile(const GraphModel& model,
-                        const CompileOptions& opts) const;
+  [[nodiscard]] CompiledModel compile(const GraphModel& model,
+                                      const CompileOptions& opts) const;
 
   /// Full forward pass of `model` on `input`.  Compile-on-first-use: the
   /// first call (per model content and input geometry) compiles, later
@@ -139,12 +140,16 @@ class Session {
 
   RunSpec spec_;
   ThreadPool pool_;
-  std::mutex pool_mu_;  ///< claims the shared pool for one run at a time
+  /// Claims the shared pool for one run at a time.  The pool itself is not
+  /// MPIPU_GUARDED_BY(pool_mu_): threads() reads its (immutable) size
+  /// lock-free, and the capability here serializes parallel_for USE, not
+  /// data access.
+  Mutex pool_mu_;
   struct CacheEntry {
     std::shared_ptr<const CompiledModel> compiled;
   };
-  std::mutex cache_mu_;
-  std::vector<CacheEntry> compiled_cache_;
+  Mutex cache_mu_;
+  std::vector<CacheEntry> compiled_cache_ MPIPU_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace mpipu

@@ -1,0 +1,182 @@
+// Annotated mutex layer: Clang Thread Safety Analysis over std::mutex.
+//
+// The serving stack's lock discipline -- which state each mutex guards,
+// which functions must (or must not) be entered with a lock held -- was
+// enforced only dynamically, by TSan and the chaos wall.  This header makes
+// it a COMPILE-TIME contract: every mutex/condvar in src/ is one of these
+// wrappers, every guarded member carries MPIPU_GUARDED_BY, and a clang
+// build with -Wthread-safety -Werror rejects any access that violates the
+// annotations (tests/compile_fail/thread_safety_negative.cpp proves the
+// analysis actually fires).  Under GCC (or any non-clang compiler) every
+// macro expands to nothing and the wrappers are zero-cost shims over the
+// std primitives, so portable builds are unaffected.
+//
+// What -Wthread-safety proves vs what TSan proves:
+//   * the static analysis proves every annotated access site acquires the
+//     right capability on EVERY path through the code, including paths no
+//     test reaches -- but only for state that is annotated;
+//   * TSan proves the absence of data races on the interleavings a test
+//     actually executes -- including unannotated state and lock-free code
+//     (atomics, fault.h, clock.h), which the static analysis cannot see.
+// The two are complementary; this repo runs both.
+//
+// The repo-invariant linter (tools/lint) enforces the flip side: no raw
+// std::mutex / std::condition_variable / std::lock_guard / std::unique_lock
+// anywhere in src/ outside this header, so new code cannot silently opt out
+// of the analysis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the analysis attributes via __has_attribute; everything
+// else (GCC, MSVC) compiles the annotations away.
+#if defined(__clang__) && defined(__has_attribute)
+#define MPIPU_TSA(x) __attribute__((x))
+#else
+#define MPIPU_TSA(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define MPIPU_CAPABILITY(x) MPIPU_TSA(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define MPIPU_SCOPED_CAPABILITY MPIPU_TSA(scoped_lockable)
+/// Member data that may only be touched while holding the given mutex.
+#define MPIPU_GUARDED_BY(x) MPIPU_TSA(guarded_by(x))
+/// Pointer member whose POINTEE is guarded by the given mutex.
+#define MPIPU_PT_GUARDED_BY(x) MPIPU_TSA(pt_guarded_by(x))
+/// Function that must be called WITH the listed capabilities held.
+#define MPIPU_REQUIRES(...) MPIPU_TSA(requires_capability(__VA_ARGS__))
+/// Function that must be called WITHOUT the listed capabilities held
+/// (deadlock prevention: e.g. metrics_mu_ is never taken under mu_).
+#define MPIPU_EXCLUDES(...) MPIPU_TSA(locks_excluded(__VA_ARGS__))
+/// Function that acquires the listed capabilities (and does not release).
+#define MPIPU_ACQUIRE(...) MPIPU_TSA(acquire_capability(__VA_ARGS__))
+/// Function that releases the listed capabilities.
+#define MPIPU_RELEASE(...) MPIPU_TSA(release_capability(__VA_ARGS__))
+/// Function that tries to acquire; first arg is the success return value.
+#define MPIPU_TRY_ACQUIRE(...) MPIPU_TSA(try_acquire_capability(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model; every use must carry a
+/// comment saying why (tools/lint has no rule here -- review does).
+#define MPIPU_NO_THREAD_SAFETY_ANALYSIS MPIPU_TSA(no_thread_safety_analysis)
+/// Function returning a reference to a capability.
+#define MPIPU_RETURN_CAPABILITY(x) MPIPU_TSA(lock_returned(x))
+/// Assert (at runtime trust, not analysis) that a capability is held.
+#define MPIPU_ASSERT_CAPABILITY(x) MPIPU_TSA(assert_capability(x))
+
+namespace mpipu {
+
+class CondVar;
+
+/// std::mutex with the capability attribute: the analysis tracks which
+/// scopes hold it and checks every MPIPU_GUARDED_BY member against it.
+class MPIPU_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MPIPU_ACQUIRE() { mu_.lock(); }
+  void unlock() MPIPU_RELEASE() { mu_.unlock(); }
+  bool try_lock() MPIPU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// RAII lock (std::lock_guard analog).  Not movable: a MutexLock IS the
+/// critical section.
+class MPIPU_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MPIPU_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MPIPU_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII try-lock (std::unique_lock + std::try_to_lock analog): never
+/// blocks; owns_lock() says whether the critical section was entered.
+/// Session::run_compiled uses this to fall back to a private pool instead
+/// of queueing on the shared one.
+class MPIPU_SCOPED_CAPABILITY TryMutexLock {
+ public:
+  explicit TryMutexLock(Mutex& mu) MPIPU_TRY_ACQUIRE(true, mu)
+      : mu_(mu), owned_(mu.try_lock()) {}
+  ~TryMutexLock() MPIPU_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  TryMutexLock(const TryMutexLock&) = delete;
+  TryMutexLock& operator=(const TryMutexLock&) = delete;
+
+  bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// RAII lock that a CondVar can wait on (std::unique_lock analog).  Always
+/// constructed locked; CondVar::wait* atomically release and reacquire it.
+/// The analysis treats the capability as held for the whole scope -- the
+/// standard condition-variable convention: the guarded predicate is only
+/// ever read between waits, when the lock IS held.
+class MPIPU_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) MPIPU_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() MPIPU_RELEASE() {}  // lock_ member unlocks
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over Mutex/UniqueLock.  Waits release and reacquire
+/// the UniqueLock's mutex exactly like std::condition_variable; timed waits
+/// run on the REAL clock (see common/clock.h: cv waits are deliberately not
+/// virtualized -- code mixing a wait with deadline logic reads the deadline
+/// through the Clock and only uses real time for the wait itself).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <typename ClockT, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<ClockT, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mpipu

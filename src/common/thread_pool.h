@@ -6,14 +6,19 @@
 // Slot 0 runs on the calling thread, so a pool of size 1 adds no threading
 // overhead at all (the body runs inline) and results are trivially
 // identical to a sequential loop.
+//
+// Lock discipline (compile-time checked, common/annotated_mutex.h): the
+// job descriptor (job_, job_total_, pending_, generation_, stop_) is
+// guarded by mu_; workers sleep on work_ready_, the caller sleeps on
+// work_done_.  parallel_for is NOT reentrant -- one job at a time.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace mpipu {
 
@@ -34,7 +39,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     work_ready_.notify_all();
@@ -50,14 +55,15 @@ class ThreadPool {
   /// slot s gets the contiguous slice [s*total/size, (s+1)*total/size).
   /// Blocks until every slice is done.  Slot 0 executes on the caller.
   void parallel_for(int64_t total,
-                    const std::function<void(int64_t, int64_t, int)>& body) {
+                    const std::function<void(int64_t, int64_t, int)>& body)
+      MPIPU_EXCLUDES(mu_) {
     if (total <= 0) return;
     if (size_ == 1) {
       body(0, total, 0);
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_ = &body;
       job_total_ = total;
       pending_ = size_ - 1;
@@ -65,8 +71,10 @@ class ThreadPool {
     }
     work_ready_.notify_all();
     run_slice(total, 0, body);
-    std::unique_lock<std::mutex> lock(mu_);
-    work_done_.wait(lock, [this] { return pending_ == 0; });
+    UniqueLock lock(mu_);
+    work_done_.wait(lock, [this]() MPIPU_REQUIRES(mu_) {
+      return pending_ == 0;
+    });
     job_ = nullptr;
   }
 
@@ -78,14 +86,16 @@ class ThreadPool {
     if (begin < end) body(begin, end, slot);
   }
 
-  void worker_loop(int slot) {
+  void worker_loop(int slot) MPIPU_EXCLUDES(mu_) {
     uint64_t seen = 0;
     for (;;) {
       const std::function<void(int64_t, int64_t, int)>* job = nullptr;
       int64_t total = 0;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        UniqueLock lock(mu_);
+        work_ready_.wait(lock, [&]() MPIPU_REQUIRES(mu_) {
+          return stop_ || generation_ != seen;
+        });
         if (stop_) return;
         seen = generation_;
         job = job_;
@@ -93,7 +103,7 @@ class ThreadPool {
       }
       run_slice(total, slot, *job);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (--pending_ == 0) work_done_.notify_all();
       }
     }
@@ -102,14 +112,15 @@ class ThreadPool {
   int size_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(int64_t, int64_t, int)>* job_ = nullptr;
-  int64_t job_total_ = 0;
-  int pending_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  const std::function<void(int64_t, int64_t, int)>* job_
+      MPIPU_GUARDED_BY(mu_) = nullptr;
+  int64_t job_total_ MPIPU_GUARDED_BY(mu_) = 0;
+  int pending_ MPIPU_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ MPIPU_GUARDED_BY(mu_) = 0;
+  bool stop_ MPIPU_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mpipu

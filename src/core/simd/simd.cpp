@@ -26,7 +26,8 @@ const KernelTable* table_for(Backend b) {
 /// compiled-in backend (unknown or unavailable names fall through to auto),
 /// otherwise the best vector backend this binary carries.
 Backend select_default() {
-  if (const char* env = std::getenv("MPIPU_KERNEL")) {
+  // Read-only env probe at first use, no concurrent setenv in this process.
+  if (const char* env = std::getenv("MPIPU_KERNEL")) {  // NOLINT(concurrency-mt-unsafe)
     if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
     if (std::strcmp(env, "avx2") == 0 && avx2_kernel_table() != nullptr) {
       return Backend::kAvx2;

@@ -59,6 +59,7 @@ FaultPlan::Config FaultPlan::parse(const std::string& spec) {
     if (item.empty()) continue;
     const size_t eq = item.find('=');
     if (eq == std::string::npos) {
+      // lint:allow-throw -- config-parse error, not the request path
       throw std::invalid_argument("FaultPlan: expected key=value, got '" +
                                   item + "'");
     }
@@ -72,6 +73,7 @@ FaultPlan::Config FaultPlan::parse(const std::string& spec) {
       } else if (key == "delay") {
         const size_t colon = val.find(':');
         if (colon == std::string::npos) {
+          // lint:allow-throw -- config-parse error, not the request path
           throw std::invalid_argument("delay wants prob:seconds");
         }
         cfg.delay_prob = std::stod(val.substr(0, colon));
@@ -83,16 +85,20 @@ FaultPlan::Config FaultPlan::parse(const std::string& spec) {
       } else if (key == "until") {
         cfg.last_attempt = std::stoull(val);
       } else {
+        // lint:allow-throw -- config-parse error, not the request path
         throw std::invalid_argument("unknown key '" + key + "'");
       }
     } catch (const std::invalid_argument&) {
+      // lint:allow-throw -- config-parse error, not the request path
       throw;
     } catch (const std::exception&) {
+      // lint:allow-throw -- config-parse error, not the request path
       throw std::invalid_argument("FaultPlan: bad value in '" + item + "'");
     }
   }
   if (cfg.throw_prob < 0.0 || cfg.throw_prob > 1.0 || cfg.delay_prob < 0.0 ||
       cfg.delay_prob > 1.0 || cfg.delay_s < 0.0 || cfg.window_stall_s < 0.0) {
+    // lint:allow-throw -- config-parse error, not the request path
     throw std::invalid_argument("FaultPlan: probabilities must be in [0,1], "
                                 "durations non-negative");
   }
@@ -100,7 +106,8 @@ FaultPlan::Config FaultPlan::parse(const std::string& spec) {
 }
 
 std::shared_ptr<FaultPlan> FaultPlan::from_env() {
-  const char* env = std::getenv("MPIPU_FAULT");
+  // Read-only env probe, no concurrent setenv in this process.
+  const char* env = std::getenv("MPIPU_FAULT");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || env[0] == '\0') return nullptr;
   return std::make_shared<FaultPlan>(parse(env));
 }

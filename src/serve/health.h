@@ -54,7 +54,7 @@ class CircuitBreaker {
   /// Admission decision for one request.  May transition kOpen ->
   /// kHalfOpen when the cooldown has elapsed; a kProbe admission reserves
   /// one of the half_open_probes slots.
-  AdmitDecision admit(double now);
+  [[nodiscard]] AdmitDecision admit(double now);
   /// A request admitted as a half-open probe that never reached execution
   /// (shed later in the admission chain): return its probe slot.
   void release_probe();

@@ -51,14 +51,14 @@ double ServeClient::backoff_s(int retry) {
 ServeResult ServeClient::call(ModelHandle h, const Tensor& input,
                               const SubmitOptions& opts) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.calls;
   }
   ServeResult last;
   for (int attempt = 0;; ++attempt) {
     std::future<ServeResult> primary = runtime_.submit(h, input, opts);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.attempts;
     }
     bool hedge_won = false;
@@ -75,7 +75,7 @@ ServeResult ServeClient::call(ModelHandle h, const Tensor& input,
       // primary's rejection once both have resolved.
       std::future<ServeResult> hedge = runtime_.submit(h, input, opts);
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.attempts;
         ++stats_.hedges;
       }
@@ -109,18 +109,18 @@ ServeResult ServeClient::call(ModelHandle h, const Tensor& input,
     }
     if (last.ok() || !retryable(policy_, last.rejected)) {
       if (hedge_won) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.hedge_wins;
       }
       return last;
     }
     if (attempt + 1 >= policy_.max_attempts) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.gave_up;
       return last;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.retries;
     }
     clock_->sleep_for(backoff_s(attempt));
@@ -128,7 +128,7 @@ ServeResult ServeClient::call(ModelHandle h, const Tensor& input,
 }
 
 ClientStats ServeClient::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

@@ -26,8 +26,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/annotated_mutex.h"
 #include "common/rng.h"
 #include "serve/serving_runtime.h"
 
@@ -72,8 +72,8 @@ class ServeClient {
   /// Submit with retries/backoff/hedging until ok(), a non-retryable
   /// rejection, or max_attempts.  Returns the LAST attempt's result.
   /// Throws std::out_of_range only for a bad handle (caller bug).
-  ServeResult call(ModelHandle h, const Tensor& input,
-                   const SubmitOptions& opts = {});
+  [[nodiscard]] ServeResult call(ModelHandle h, const Tensor& input,
+                                 const SubmitOptions& opts = {});
 
   /// True when `policy` retries rejection `r`.
   static bool retryable(const RetryPolicy& policy, RejectReason r);
@@ -89,8 +89,8 @@ class ServeClient {
   RetryPolicy policy_;
   Clock* clock_;
   Rng jitter_rng_;
-  mutable std::mutex stats_mu_;
-  ClientStats stats_;
+  mutable Mutex stats_mu_;
+  ClientStats stats_ MPIPU_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace mpipu::serve

@@ -102,7 +102,7 @@ ModelHandle ServingRuntime::load_impl(const ModelT& model, int input_h,
   ModelHandle handle;
   std::string name;
   {
-    std::lock_guard<std::mutex> lock(models_mu_);
+    MutexLock lock(models_mu_);
     for (size_t i = 0; i < models_.size(); ++i) {
       const LoadedModel& m = models_[i];
       if (m.compiled->input_h() == input_h &&
@@ -134,7 +134,7 @@ ModelHandle ServingRuntime::load_impl(const ModelT& model, int input_h,
   // Health is born with the model (so metrics list it before any traffic)
   // and deliberately survives eviction: breaker history is diagnosis data.
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     health_entry(handle);
     model_names_[handle] = std::move(name);
   }
@@ -153,16 +153,17 @@ ModelHandle ServingRuntime::load(const GraphModel& model, int input_h,
 
 std::shared_ptr<const CompiledModel> ServingRuntime::model(
     ModelHandle h) const {
-  std::lock_guard<std::mutex> lock(models_mu_);
+  MutexLock lock(models_mu_);
   for (const LoadedModel& m : models_) {
     if (m.handle == h) return m.compiled;
   }
+  // lint:allow-throw -- caller bug (bad handle), documented API contract
   throw std::out_of_range("ServingRuntime::model: unknown or evicted handle " +
                           std::to_string(h));
 }
 
 size_t ServingRuntime::loaded_count() const {
-  std::lock_guard<std::mutex> lock(models_mu_);
+  MutexLock lock(models_mu_);
   return models_.size();
 }
 
@@ -187,7 +188,7 @@ std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
     if (!error.empty()) reject = RejectReason::kBadInput;
   }
   if (reject == RejectReason::kNone && cfg_.breaker.failure_threshold > 0) {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     ModelHealth& hh = health_entry(h);
     switch (hh.breaker.admit(p.enqueue_t)) {
       case AdmitDecision::kShed:
@@ -201,8 +202,13 @@ std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
         break;
     }
   }
+  // Read before p can be moved into the queue: the rejection paths below
+  // must not touch p's members once std::move(p) is a possibility on ANY
+  // branch (bugprone-use-after-move).
+  const bool probe = p.probe;
+  const double enqueue_t = p.enqueue_t;
   if (reject == RejectReason::kNone) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       reject = RejectReason::kShutdown;
     } else if (queue_.size() >= cfg_.queue_capacity) {
@@ -222,18 +228,18 @@ std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
     }
   }
   if (reject != RejectReason::kNone &&
-      (p.probe || reject == RejectReason::kBadInput)) {
-    std::lock_guard<std::mutex> lock(health_mu_);
+      (probe || reject == RejectReason::kBadInput)) {
+    MutexLock lock(health_mu_);
     ModelHealth& hh = health_entry(h);
     // A probe that never reached the queue returns its slot so the next
     // submission can probe instead.
-    if (p.probe) hh.breaker.release_probe();
+    if (probe) hh.breaker.release_probe();
     if (reject == RejectReason::kBadInput) ++hh.bad_inputs;
   }
   {
     // submitted and its outcome move under ONE lock acquisition, so the
     // conservation invariant holds at every instant, not just at rest.
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(metrics_mu_);
     ++counters_.submitted;
     switch (reject) {
       case RejectReason::kNone: ++counters_.in_flight; break;
@@ -252,7 +258,7 @@ std::future<ServeResult> ServingRuntime::submit(ModelHandle h, Tensor input,
     ServeResult r;
     r.rejected = reject;
     r.error = std::move(error);
-    r.total_s = clock_->now() - p.enqueue_t;
+    r.total_s = clock_->now() - enqueue_t;
     p.promise.set_value(std::move(r));
   }
   return fut;
@@ -266,11 +272,11 @@ ServeResult ServingRuntime::serve(ModelHandle h, Tensor input,
 void ServingRuntime::resolve_in_flight_rejected(Pending&& p,
                                                 RejectReason reason) {
   if (p.probe) {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     health_entry(p.handle).breaker.release_probe();
   }
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(metrics_mu_);
     --counters_.in_flight;
     switch (reason) {
       case RejectReason::kDeadline: ++counters_.shed_deadline; break;
@@ -294,6 +300,7 @@ void ServingRuntime::maybe_inject_fault() {
       clock_->sleep_for(d.delay_s);
       return;
     case FaultDecision::Kind::kThrow:
+      // lint:allow-throw -- injected chaos: takes the same catch path as a real fault
       throw InjectedFault("injected execution fault (FaultPlan seed " +
                           std::to_string(faults_->config().seed) + ")");
   }
@@ -344,8 +351,10 @@ void ServingRuntime::worker_loop() {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      queue_cv_.wait(lock, [&]() MPIPU_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stopping_) return;  // drained (or aborted): done
         continue;
@@ -427,7 +436,7 @@ void ServingRuntime::execute_batch(std::vector<Pending>& batch,
   // stalled while it runs.
   uint64_t exec_id;
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     exec_id = next_exec_id_++;
     active_execs_.push_back({exec_id, handle, dispatch_t});
   }
@@ -490,7 +499,7 @@ void ServingRuntime::execute_batch(std::vector<Pending>& batch,
 
   // Health bookkeeping: watchdog + breaker, one lock acquisition.
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     for (size_t i = 0; i < active_execs_.size(); ++i) {
       if (active_execs_[i].id == exec_id) {
         active_execs_.erase(active_execs_.begin() + static_cast<ptrdiff_t>(i));
@@ -508,7 +517,7 @@ void ServingRuntime::execute_batch(std::vector<Pending>& batch,
   // Metrics BEFORE promises: a client whose future just resolved must see
   // its own completion in the very next metrics() snapshot.
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(metrics_mu_);
     counters_.in_flight -= live.size();
     counters_.completed += n_ok;
     counters_.failed += n_exec_err;
@@ -560,10 +569,10 @@ void ServingRuntime::execute_batch(std::vector<Pending>& batch,
 }
 
 void ServingRuntime::shutdown(Shutdown mode) {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(shutdown_mu_);
   std::vector<Pending> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     if (mode == Shutdown::kAbort) {
       while (!queue_.empty()) {
@@ -585,17 +594,17 @@ ServerMetrics ServingRuntime::metrics() const {
   ServerMetrics m;
   std::vector<double> lats;
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(metrics_mu_);
     m = counters_;
     lats = latencies_;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     m.queue_high_water = queue_high_water_;
   }
   const double now = clock_->now();
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     for (const auto& [handle, hh] : health_) {
       ModelHealthSnapshot s;
       s.handle = handle;

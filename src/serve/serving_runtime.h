@@ -61,20 +61,19 @@
 // under randomized fault schedules.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/compiled_model.h"
 #include "api/json.h"
+#include "common/annotated_mutex.h"
 #include "common/clock.h"
 #include "common/percentile.h"
 #include "serve/fault.h"
@@ -155,7 +154,9 @@ struct SubmitOptions {
   double timeout_s = std::numeric_limits<double>::infinity();
 };
 
-struct ServeResult {
+/// [[nodiscard]]: a dropped ServeResult is a dropped typed failure -- the
+/// whole point of the values-not-exceptions contract is that callers LOOK.
+struct [[nodiscard]] ServeResult {
   RejectReason rejected = RejectReason::kShutdown;
   bool ok() const { return rejected == RejectReason::kNone; }
   /// kBadInput / kExecError: what went wrong (the exception text the
@@ -243,8 +244,8 @@ class ServingRuntime {
   /// immediately with the typed rejection, and execution failures resolve
   /// it later as kExecError.  Throws std::out_of_range only for an
   /// unknown/evicted handle (a caller bug, not a load condition).
-  std::future<ServeResult> submit(ModelHandle h, Tensor input,
-                                  const SubmitOptions& opts = {});
+  [[nodiscard]] std::future<ServeResult> submit(ModelHandle h, Tensor input,
+                                                const SubmitOptions& opts = {});
 
   /// Blocking convenience: submit + wait.
   ServeResult serve(ModelHandle h, Tensor input,
@@ -283,24 +284,26 @@ class ServingRuntime {
 
   template <typename ModelT>
   ModelHandle load_impl(const ModelT& model, int input_h, int input_w);
-  void worker_loop();
+  void worker_loop() MPIPU_EXCLUDES(mu_, health_mu_, metrics_mu_);
   /// Move queued same-handle requests into `batch` (FIFO order) up to
   /// max_batch.  Caller holds mu_.
-  void gather_same_model(std::vector<Pending>& batch);
-  void execute_batch(std::vector<Pending>& batch, ThreadPool& pool);
+  void gather_same_model(std::vector<Pending>& batch) MPIPU_REQUIRES(mu_);
+  void execute_batch(std::vector<Pending>& batch, ThreadPool& pool)
+      MPIPU_EXCLUDES(mu_, health_mu_, metrics_mu_);
   /// Resolve an accepted (in-flight) request with a non-exec rejection:
   /// returns its probe slot, decrements in_flight, counts the shed.
-  void resolve_in_flight_rejected(Pending&& p, RejectReason reason);
+  void resolve_in_flight_rejected(Pending&& p, RejectReason reason)
+      MPIPU_EXCLUDES(health_mu_, metrics_mu_);
   /// Consult the fault plan for one execution attempt: maybe delay the
   /// worker, maybe throw InjectedFault.
   void maybe_inject_fault();
   /// The health record behind a handle, created on demand with the
   /// configured breaker.  Caller holds health_mu_.
-  ModelHealth& health_entry(ModelHandle h);
+  ModelHealth& health_entry(ModelHandle h) MPIPU_REQUIRES(health_mu_);
   /// Record one request's execution outcome in its model's health (caller
   /// holds health_mu_).
   void record_outcome(ModelHealth& health, const SlotOutcome& outcome,
-                      bool probe, double now);
+                      bool probe, double now) MPIPU_REQUIRES(health_mu_);
 
   RunSpec spec_;
   ServerConfig cfg_;
@@ -309,16 +312,16 @@ class ServingRuntime {
   double start_t_ = 0.0;
 
   /// Plan cache (guarded by models_mu_): LRU order, most recent at back.
-  mutable std::mutex models_mu_;
-  std::vector<LoadedModel> models_;
-  ModelHandle next_handle_ = 0;
+  mutable Mutex models_mu_;
+  std::vector<LoadedModel> models_ MPIPU_GUARDED_BY(models_mu_);
+  ModelHandle next_handle_ MPIPU_GUARDED_BY(models_mu_) = 0;
 
   /// Request queue (guarded by mu_, signaled by queue_cv_).
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  size_t queue_high_water_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ MPIPU_GUARDED_BY(mu_);
+  size_t queue_high_water_ MPIPU_GUARDED_BY(mu_) = 0;
+  bool stopping_ MPIPU_GUARDED_BY(mu_) = false;
 
   /// Per-model health + the watchdog's active-execution table (guarded by
   /// health_mu_; never held together with another runtime mutex).
@@ -327,21 +330,26 @@ class ServingRuntime {
     ModelHandle handle = -1;
     double start_t = 0.0;
   };
-  mutable std::mutex health_mu_;
-  std::map<ModelHandle, ModelHealth> health_;
-  std::map<ModelHandle, std::string> model_names_;
-  std::vector<ActiveExec> active_execs_;
-  uint64_t next_exec_id_ = 0;
+  mutable Mutex health_mu_;
+  std::map<ModelHandle, ModelHealth> health_ MPIPU_GUARDED_BY(health_mu_);
+  std::map<ModelHandle, std::string> model_names_
+      MPIPU_GUARDED_BY(health_mu_);
+  std::vector<ActiveExec> active_execs_ MPIPU_GUARDED_BY(health_mu_);
+  uint64_t next_exec_id_ MPIPU_GUARDED_BY(health_mu_) = 0;
 
   /// Counters and the latency record (guarded by metrics_mu_; never held
   /// together with mu_).  Every submission is accounted under ONE lock
   /// acquisition -- submitted and its outcome (in_flight or a shed
   /// counter) move together, so conserved() holds at every instant.
-  mutable std::mutex metrics_mu_;
-  ServerMetrics counters_;
-  std::vector<double> latencies_;
+  mutable Mutex metrics_mu_;
+  ServerMetrics counters_ MPIPU_GUARDED_BY(metrics_mu_);
+  std::vector<double> latencies_ MPIPU_GUARDED_BY(metrics_mu_);
 
-  std::mutex shutdown_mu_;  ///< serializes shutdown() and the destructor
+  /// Serializes shutdown() and the destructor.  workers_ itself is written
+  /// only single-threaded in the constructor and joined under shutdown_mu_,
+  /// so it carries no GUARDED_BY (annotating it would falsely require the
+  /// constructor to lock).
+  Mutex shutdown_mu_;
   std::vector<std::thread> workers_;
 };
 

@@ -20,6 +20,7 @@ double exp_gap(Rng& rng, double rate) {
 
 std::vector<double> poisson_arrivals(Rng& rng, double rate_rps, int count) {
   if (rate_rps <= 0.0) {
+    // lint:allow-throw -- test/bench traffic synthesis, not the request path
     throw std::invalid_argument("poisson_arrivals: rate must be positive");
   }
   std::vector<double> t(static_cast<size_t>(count > 0 ? count : 0));
@@ -35,6 +36,7 @@ std::vector<double> bursty_arrivals(Rng& rng, const BurstyConfig& cfg,
                                     int count) {
   if (cfg.burst_rate_rps <= 0.0 || cfg.idle_rate_rps < 0.0 ||
       cfg.mean_burst_s <= 0.0 || cfg.mean_idle_s <= 0.0) {
+    // lint:allow-throw -- test/bench traffic synthesis, not the request path
     throw std::invalid_argument(
         "bursty_arrivals: burst rate and mean dwell times must be positive, "
         "idle rate non-negative");
@@ -73,6 +75,7 @@ double bursty_mean_rate(const BurstyConfig& cfg) {
 std::vector<int> zipf_indices(Rng& rng, double s, int catalog_size,
                               int count) {
   if (catalog_size <= 0) {
+    // lint:allow-throw -- test/bench traffic synthesis, not the request path
     throw std::invalid_argument("zipf_indices: catalog must be non-empty");
   }
   // CDF table once, then inverse-CDF sampling by binary search.

@@ -1,0 +1,107 @@
+// NEGATIVE compile test for the thread-safety annotations.
+//
+// This TU is NOT part of any build target.  tools/lint/
+// check_thread_safety_negative.py (the `thread_safety_negative` ctest)
+// compiles it with `clang++ -fsyntax-only -Wthread-safety -Werror` and
+// asserts the compile FAILS -- proving the analysis in
+// common/annotated_mutex.h actually rejects bad lock discipline, rather
+// than the annotations having quietly degraded to no-ops (wrong macro
+// spelling, a lost attribute, a broken friend declaration).
+//
+// Each block below is one deliberate, comment-documented violation.  The
+// same TU compiled with -DMPIPU_TS_POSITIVE drops every violation and must
+// PASS: that control run proves a failure of the negative run comes from
+// the analysis, not from a bad include path or flag.
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION 1: writes a guarded member with no lock held.
+  // Expected diagnostic: "writing variable 'value_' requires holding
+  // mutex 'mu_' exclusively".
+  void unguarded_write() {
+#ifndef MPIPU_TS_POSITIVE
+    value_ += 1;
+#else
+    mpipu::MutexLock lock(mu_);
+    value_ += 1;
+#endif
+  }
+
+  // VIOLATION 2: calls a REQUIRES function without acquiring the mutex.
+  // Expected diagnostic: "calling function 'bump_locked' requires holding
+  // mutex 'mu_' exclusively".
+  void missing_requires() {
+#ifndef MPIPU_TS_POSITIVE
+    bump_locked();
+#else
+    mpipu::MutexLock lock(mu_);
+    bump_locked();
+#endif
+  }
+
+  // VIOLATION 3: re-enters an EXCLUDES function with the lock held --
+  // self-deadlock by contract.  Expected diagnostic: "cannot call function
+  // 'unguarded_write' while mutex 'mu_' is held".
+  void excludes_violation() MPIPU_EXCLUDES(mu_) {
+    mpipu::MutexLock lock(mu_);
+#ifndef MPIPU_TS_POSITIVE
+    excludes_violation();
+#endif
+    value_ += 1;
+  }
+
+  // VIOLATION 4: manual lock() with a return path that never unlocks.
+  // Expected diagnostic: "mutex 'mu_' is still held at the end of
+  // function".
+  void leaked_lock() {
+#ifndef MPIPU_TS_POSITIVE
+    mu_.lock();
+    value_ += 1;
+#else
+    mpipu::MutexLock lock(mu_);
+    value_ += 1;
+#endif
+  }
+
+ private:
+  void bump_locked() MPIPU_REQUIRES(mu_) { value_ += 1; }
+
+  mpipu::Mutex mu_;
+  int value_ MPIPU_GUARDED_BY(mu_) = 0;
+};
+
+// VIOLATION 5: the condvar-wait predicate reads guarded state but is not
+// annotated MPIPU_REQUIRES(mu) -- the mirror image of the worker_loop
+// pattern in serve/serving_runtime.cpp, which annotates its predicate.
+// Expected diagnostic: "reading variable 'ready' requires holding mutex
+// 'mu'".
+struct Waiter {
+  mpipu::Mutex mu;
+  mpipu::CondVar cv;
+  bool ready MPIPU_GUARDED_BY(mu) = false;
+
+  void wait_for_ready() {
+    mpipu::UniqueLock lock(mu);
+#ifndef MPIPU_TS_POSITIVE
+    cv.wait(lock, [this] { return ready; });
+#else
+    cv.wait(lock, [this]() MPIPU_REQUIRES(mu) { return ready; });
+#endif
+  }
+};
+
+}  // namespace
+
+// Odr-use everything so -fsyntax-only still analyzes the bodies.
+void thread_safety_negative_anchor() {
+  Counter c;
+  c.unguarded_write();
+  c.missing_requires();
+  c.excludes_violation();
+  c.leaked_lock();
+  Waiter w;
+  w.wait_for_ready();
+}

@@ -1,0 +1,191 @@
+// The annotated mutex wrappers (common/annotated_mutex.h) must behave
+// exactly like the std primitives they wrap -- the thread-safety
+// annotations are compile-time only and may not change runtime semantics.
+// These tests pin the runtime half of that contract: mutual exclusion,
+// try-lock, condvar wait/notify/timeout, and the ManualClock + CondVar
+// timed-wait interplay the batching window relies on (deadlines read
+// through the virtual clock, the wait itself on real time).
+//
+// The compile-time half lives in tests/compile_fail/
+// thread_safety_negative.cpp (the `thread_safety_negative` ctest), which
+// proves a clang build REJECTS bad lock discipline.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/annotated_mutex.h"
+#include "common/clock.h"
+
+namespace mpipu {
+namespace {
+
+TEST(MutexLockTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int counter = 0;  // deliberately non-atomic: the lock is the protection
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());  // non-recursive, like std::mutex
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(TryMutexLockTest, OwnsLockOnlyWhenUncontended) {
+  Mutex mu;
+  {
+    TryMutexLock first(mu);
+    ASSERT_TRUE(first.owns_lock());
+    TryMutexLock second(mu);
+    EXPECT_FALSE(second.owns_lock());  // held: must not block, must not own
+  }
+  // Both scopes closed; the lock must be free again (a non-owning
+  // TryMutexLock must NOT unlock in its destructor).
+  TryMutexLock third(mu);
+  EXPECT_TRUE(third.owns_lock());
+}
+
+TEST(CondVarTest, PredicateWaitSeesNotifiedState) {
+  Mutex mu;
+  CondVar cv;
+  bool ready MPIPU_GUARDED_BY(mu) = false;
+  int observed = 0;
+
+  std::thread waiter([&] {
+    UniqueLock lock(mu);
+    cv.wait(lock, [&]() MPIPU_REQUIRES(mu) { return ready; });
+    observed = 1;
+  });
+  // Unconditional notify first: the waiter's predicate loop must absorb the
+  // spurious-style wakeup (ready is still false).
+  cv.notify_all();
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  UniqueLock lock(mu);
+  const auto status = cv.wait_for(lock, std::chrono::milliseconds(10));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitUntilWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool done MPIPU_GUARDED_BY(mu) = false;
+
+  std::thread notifier([&] {
+    MutexLock lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+
+  bool woke = false;
+  {
+    UniqueLock lock(mu);
+    // Generous real-time deadline; the notify arrives long before it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!done) {
+      if (cv.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    woke = done;
+  }
+  notifier.join();
+  EXPECT_TRUE(woke);
+}
+
+// The batching-window pattern from serve/serving_runtime.cpp in miniature:
+// the DEADLINE is decided through the virtual clock (ManualClock in tests),
+// while the cv wait itself runs on short real-time slices.  Virtual time
+// standing still must keep the loop waiting; advancing it past the budget
+// must end the wait without any notify.
+TEST(CondVarClockTest, ManualClockDeadlineGovernsTimedWaitLoop) {
+  ManualClock clock(100.0);
+  Mutex mu;
+  CondVar cv;
+  constexpr double kBudgetS = 5.0;
+  const double deadline = clock.now() + kBudgetS;
+
+  std::atomic<int> wait_rounds{0};
+  std::atomic<bool> finished{false};
+
+  std::thread worker([&] {
+    UniqueLock lock(mu);
+    while (clock.now() < deadline) {
+      wait_rounds.fetch_add(1, std::memory_order_relaxed);
+      // Short REAL wait slice; timeout is expected and benign -- only the
+      // virtual deadline decides whether the loop continues.
+      (void)cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    finished.store(true, std::memory_order_release);
+  });
+
+  // Let the worker spin a few slices with virtual time frozen: it must
+  // still be looping (the real-time timeouts alone must not end it).
+  while (wait_rounds.load(std::memory_order_relaxed) < 3) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(finished.load(std::memory_order_acquire));
+
+  clock.advance(kBudgetS + 1.0);  // one advance elapses the whole budget
+  worker.join();
+  EXPECT_TRUE(finished.load(std::memory_order_acquire));
+  EXPECT_GE(clock.now(), deadline);
+}
+
+// sleep_for on a ManualClock advances virtual time instantly -- a waiter
+// blocked on a condvar while another thread "sleeps" through the budget
+// must observe the full advance on wake.
+TEST(CondVarClockTest, ManualSleepAdvancesTimeForWaiters) {
+  ManualClock clock(0.0);
+  Mutex mu;
+  CondVar cv;
+  bool slept MPIPU_GUARDED_BY(mu) = false;
+
+  std::thread sleeper([&] {
+    clock.sleep_for(30.0);  // instant under ManualClock
+    MutexLock lock(mu);
+    slept = true;
+    cv.notify_one();
+  });
+
+  double seen = -1.0;
+  {
+    UniqueLock lock(mu);
+    cv.wait(lock, [&]() MPIPU_REQUIRES(mu) { return slept; });
+    seen = clock.now();
+  }
+  sleeper.join();
+  EXPECT_DOUBLE_EQ(seen, 30.0);
+}
+
+}  // namespace
+}  // namespace mpipu

@@ -241,7 +241,7 @@ TEST(CompiledModelTest, CompileTimeValidationErrors) {
   spatial.datapath = small_datapath(DecompositionScheme::kSpatial);
   spatial.policy.set_layer("conv2", LayerPrecision::int_bits(8, 8));
   try {
-    Session(spatial).compile(model, {12, 12});
+    (void)Session(spatial).compile(model, {12, 12});  // must throw, not return
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();

@@ -368,7 +368,7 @@ TEST(ServingRuntime, PlanCacheDedupsAndEvictsLru) {
   EXPECT_THROW(rt.model(ha), std::out_of_range);
   EXPECT_THROW({
     Tensor in = random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0);
-    rt.submit(ha, std::move(in));
+    (void)rt.submit(ha, std::move(in));  // must throw, not return a future
   }, std::out_of_range);
 }
 
@@ -377,7 +377,9 @@ TEST(ServingRuntime, MetricsJsonHasTheContractKeys) {
   const Model fast = fast_model(rng);
   ServingRuntime rt(serving_spec());
   const ModelHandle h = rt.load(fast, 10, 10);
-  rt.serve(h, random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0));
+  ASSERT_TRUE(
+      rt.serve(h, random_tensor(rng, 3, 10, 10, ValueDist::kHalfNormal, 1.0))
+          .ok());
 
   const std::string json = rt.metrics().to_json_value().dump();
   for (const char* key :

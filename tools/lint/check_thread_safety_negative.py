@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Prove clang's thread-safety analysis rejects the negative TU.
+
+Two runs of tests/compile_fail/thread_safety_negative.cpp under
+`clang++ -fsyntax-only -Wthread-safety -Werror`:
+
+  1. control: -DMPIPU_TS_POSITIVE (violations compiled out) must PASS --
+     include path and flags are good, so a red negative run below means the
+     ANALYSIS fired, not the toolchain.
+  2. negative: violations in, compile must FAIL, and the diagnostics must
+     mention -Wthread-safety.
+
+Exit 0 when both hold, 1 on any mismatch, 77 (ctest SKIP_RETURN_CODE) when
+no clang++ is on PATH -- GCC does not implement the analysis, so there is
+nothing to prove locally; the static-analysis CI job always runs this.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+NEGATIVE_TU = Path("tests/compile_fail/thread_safety_negative.cpp")
+
+
+def main(argv):
+    root = Path(__file__).resolve().parents[2]
+    if "--root" in argv:
+        root = Path(argv[argv.index("--root") + 1]).resolve()
+
+    clang = shutil.which("clang++")
+    if clang is None:
+        print("SKIP: no clang++ on PATH (thread-safety analysis is "
+              "clang-only); the static-analysis CI job runs this.")
+        return SKIP
+
+    base = [clang, "-std=c++20", "-fsyntax-only", "-Wthread-safety",
+            "-Werror", f"-I{root / 'src'}", str(root / NEGATIVE_TU)]
+
+    control = subprocess.run(base + ["-DMPIPU_TS_POSITIVE"],
+                             capture_output=True, text=True)
+    if control.returncode != 0:
+        print("FAIL: the positive control (violations compiled out) did not "
+              "compile -- fix the TU/flags before trusting the negative run:")
+        print(control.stderr)
+        return 1
+    print("ok: positive control compiles clean")
+
+    negative = subprocess.run(base, capture_output=True, text=True)
+    if negative.returncode == 0:
+        print("FAIL: the negative TU COMPILED -- the thread-safety "
+              "annotations are not rejecting bad lock discipline "
+              "(check common/annotated_mutex.h attribute plumbing).")
+        return 1
+    if "-Wthread-safety" not in negative.stderr:
+        print("FAIL: the negative TU failed for a reason other than "
+              "-Wthread-safety diagnostics:")
+        print(negative.stderr)
+        return 1
+    count = negative.stderr.count("error:")
+    print(f"ok: negative TU rejected with {count} thread-safety error(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
