@@ -1,15 +1,24 @@
 // Design-space exploration (paper §4.4): sweep adder-tree precision and
 // cluster size, score each design on INT4 and FP16 area/power efficiency
 // under a user-selectable INT/FP workload mix, and print the Pareto set.
+// Then sweep the multi-tile partition (sim/partition.h): partition kind x
+// tile count, reporting per-tile utilization and load imbalance.
 //
-//   ./examples/design_space_explorer [fp_fraction]
+//   ./examples/design_space_explorer [fp_fraction] [--smoke]
+//                                    [--tiles-json [path]]
 //     fp_fraction: fraction of deployed work that is FP16 (default 0.25)
+//     --smoke: shrink both sweeps for CI
+//     --tiles-json: write the partition sweep to path (default
+//                   BENCH_tiles.json)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "api/json.h"
 #include "api/session.h"
 #include "model/hw_model.h"
 
@@ -26,7 +35,25 @@ struct Candidate {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double fp_fraction = argc > 1 ? std::atof(argv[1]) : 0.25;
+  double fp_fraction = 0.25;
+  bool smoke = false;
+  std::string tiles_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--tiles-json") == 0) {
+      tiles_json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                            ? argv[++i]
+                            : "BENCH_tiles.json";
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [fp_fraction] [--smoke] [--tiles-json [path]]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      fp_fraction = std::atof(argv[i]);
+    }
+  }
   std::printf("== IPU design-space explorer (FP16 share of work: %.0f%%) ==\n\n",
               100.0 * fp_fraction);
 
@@ -35,7 +62,7 @@ int main(int argc, char** argv) {
   // estimating the same shape-table Model.
   const Model model = Model::from_network(resnet18_forward());
   SimOptions opts;
-  opts.sampled_steps = 300;
+  opts.sampled_steps = smoke ? 80 : 300;
 
   auto estimate_design = [&](const TileConfig& tile) {
     RunSpec spec;
@@ -46,9 +73,13 @@ int main(int argc, char** argv) {
   };
   const auto base_run = estimate_design(baseline2());
 
+  const std::vector<int> widths =
+      smoke ? std::vector<int>{16, 38} : std::vector<int>{12, 14, 16, 20, 24, 28, 38};
+  const std::vector<int> cluster_sizes =
+      smoke ? std::vector<int>{1, 64} : std::vector<int>{1, 2, 4, 16, 64};
   std::vector<Candidate> cands;
-  for (int w : {12, 14, 16, 20, 24, 28, 38}) {
-    for (int cluster : {1, 2, 4, 16, 64}) {
+  for (int w : widths) {
+    for (int cluster : cluster_sizes) {
       DesignConfig d = proposed_design(w, cluster, /*big=*/true);
       if (w >= 38) d.tile.datapath.multi_cycle = false;
       const auto run = estimate_design(d.tile);
@@ -98,5 +129,72 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPick narrow trees + small clusters for INT-heavy fleets, wider trees\n");
   std::printf("when FP16 dominates -- the paper's (12,1)/(16,1) Pareto points.\n");
+
+  // -------------------------------------------------------------------------
+  // Multi-tile partition sweep: kind x tile count on the same network.
+  // Cycles shrink as tiles are added (each tile owns a smaller shard) while
+  // utilization drops wherever a layer's extent does not divide evenly --
+  // the classic scale-out tradeoff the per-tile sim makes visible.
+  // -------------------------------------------------------------------------
+  std::printf("\n== Multi-tile partition sweep (resnet18, big tile) ==\n\n");
+  std::printf("%-16s %6s %14s %12s %14s\n", "partition", "tiles", "cycles",
+              "mean util", "max imbalance");
+
+  Json tiles_root = Json::object();
+  tiles_root.set("bench", "design_space_explorer_tiles");
+  tiles_root.set("network", "resnet18");
+  tiles_root.set("smoke", smoke);
+  Json configs = Json::array();
+
+  const std::vector<int> tile_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (const PartitionKind kind :
+       {PartitionKind::kOutputChannel, PartitionKind::kSpatialRows}) {
+    for (const int num_tiles : tile_counts) {
+      TileConfig tile = big_tile(16, 28);
+      tile.num_tiles = num_tiles;
+      RunSpec spec;
+      spec.datapath = tile.datapath;
+      spec.tile = tile;
+      spec.sim = opts;
+      spec.partition.kind = kind;
+      const NetworkSimResult r = Session(spec).estimate(model);
+
+      // Aggregate per-tile utilization across layers, cycle-weighted: tile
+      // i's busy cycles over the network's critical-path cycles.
+      std::vector<double> tile_busy(static_cast<size_t>(num_tiles), 0.0);
+      double max_imbalance = 0.0;
+      for (const LayerSimResult& l : r.layers) {
+        max_imbalance = std::max(max_imbalance, l.imbalance);
+        for (const TileSimResult& t : l.tiles) {
+          tile_busy[static_cast<size_t>(t.tile)] += t.cycles;
+        }
+      }
+      Json util = Json::array();
+      for (double busy : tile_busy) {
+        util.push(r.total_cycles > 0.0 ? busy / r.total_cycles : 0.0);
+      }
+
+      std::printf("%-16s %6d %14.0f %12.3f %14.3f\n", r.partition.c_str(),
+                  num_tiles, r.total_cycles, r.mean_tile_utilization,
+                  max_imbalance);
+
+      Json cfg = Json::object();
+      cfg.set("partition", r.partition)
+          .set("num_tiles", num_tiles)
+          .set("total_cycles", r.total_cycles)
+          .set("mean_tile_utilization", r.mean_tile_utilization)
+          .set("max_layer_imbalance", max_imbalance)
+          .set("tile_utilization", std::move(util));
+      configs.push(std::move(cfg));
+    }
+  }
+  tiles_root.set("configs", std::move(configs));
+
+  if (!tiles_json_path.empty()) {
+    std::ofstream out(tiles_json_path);
+    out << tiles_root.dump() << "\n";
+    std::printf("\nwrote %s\n", tiles_json_path.c_str());
+  }
   return 0;
 }

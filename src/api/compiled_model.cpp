@@ -5,6 +5,7 @@
 
 #include "core/simd/simd.h"
 #include "nn/elementwise.h"
+#include "sim/partition.h"
 
 namespace mpipu {
 
@@ -307,25 +308,93 @@ void CompiledModel::exec_node(
   if (nd.op == GraphNode::Op::kConv) {
     const CompiledNode& cl = compiled_[static_cast<size_t>(id)];
     const Tensor& x = acts[static_cast<size_t>(nd.inputs[0])];
-    DatapathStats before;
-    for (const auto& u : units) before += u->stats();
-    if (cl.precision.kind == LayerPrecision::Kind::kFp16) {
-      const PreparedFp16 in_planes = prepare_fp16_planes(x.data);
-      y = execute_fp16_plan(cl.fp16_plan, in_planes, pool, units,
-                            spec_.datapath.n_inputs, cl.precision.accum);
-    } else {
-      // Activation quantization depends on the input values; only the
-      // weight side was frozen at compile time.
-      const QuantParams qa = fit_symmetric(x.data, cl.precision.a_bits);
-      const PreparedInt in_planes =
-          prepare_int_planes(x.data, qa, cl.int_digits);
-      y = execute_int_plan(cl.int_plan, in_planes, pool, units,
-                           spec_.datapath.n_inputs, cl.precision.a_bits,
-                           cl.precision.w_bits, qa, cl.qw);
+    const bool fp16 = cl.precision.kind == LayerPrecision::Kind::kFp16;
+    const int cout = fp16 ? cl.fp16_plan.cout : cl.int_plan.cout;
+    const int ho = fp16 ? cl.fp16_plan.ho : cl.int_plan.ho;
+
+    // Host-sharded mode (RunSpec.partition.shard_host): mirror the sim's
+    // tile partition on the host pool -- one shard per tile, joined exactly.
+    // Byte-identity with the unsharded path holds because (a) every output
+    // element's accumulate sequence depends only on its own (co, y, x) --
+    // see run_conv_plan_shard -- and (b) DatapathStats are additive per-op
+    // counters, so the sum of fresh per-shard units equals the unsharded
+    // before/after delta regardless of order or thread count.
+    std::vector<ShardRange> shards;
+    if (spec_.partition.shard_host && spec_.tile.num_tiles > 1) {
+      for (const ShardRange& r : partition_output(
+               cout, ho, spec_.tile.num_tiles, spec_.partition.kind)) {
+        if (!r.empty()) shards.push_back(r);
+      }
     }
-    DatapathStats after;
-    for (const auto& u : units) after += u->stats();
-    stats[static_cast<size_t>(id)] = after - before;
+    if (shards.size() > 1) {
+      // Prepared once, shared `const` across shards: activation
+      // quantization must see the FULL input (fit_symmetric over all
+      // values), exactly as the unsharded path does.
+      PreparedFp16 fp_planes;
+      PreparedInt int_planes;
+      QuantParams qa{};
+      if (fp16) {
+        fp_planes = prepare_fp16_planes(x.data);
+      } else {
+        qa = fit_symmetric(x.data, cl.precision.a_bits);
+        int_planes = prepare_int_planes(x.data, qa, cl.int_digits);
+      }
+      std::vector<Tensor> parts(shards.size());
+      std::vector<DatapathStats> part_stats(shards.size());
+      pool.parallel_for(
+          static_cast<int64_t>(shards.size()),
+          [&](int64_t begin, int64_t end, int) {
+            for (int64_t i = begin; i < end; ++i) {
+              const ShardRange& r = shards[static_cast<size_t>(i)];
+              // Same dispatch shape as multi-node waves: a private inline
+              // (threadless) pool and a fresh datapath per shard keep
+              // per-shard stats deterministic for any pool size.
+              ThreadPool inline_pool(1);
+              std::vector<std::unique_ptr<Datapath>> unit;
+              unit.push_back(make_datapath(spec_.datapath));
+              parts[static_cast<size_t>(i)] =
+                  fp16 ? execute_fp16_plan_shard(
+                             cl.fp16_plan, fp_planes, inline_pool, unit,
+                             spec_.datapath.n_inputs, cl.precision.accum,
+                             r.co_begin, r.co_end, r.row_begin, r.row_end)
+                       : execute_int_plan_shard(
+                             cl.int_plan, int_planes, inline_pool, unit,
+                             spec_.datapath.n_inputs, cl.precision.a_bits,
+                             cl.precision.w_bits, qa, cl.qw, r.co_begin,
+                             r.co_end, r.row_begin, r.row_end);
+              part_stats[static_cast<size_t>(i)] = unit[0]->stats();
+            }
+          });
+      std::vector<const Tensor*> part_ptrs;
+      part_ptrs.reserve(parts.size());
+      for (const Tensor& t : parts) part_ptrs.push_back(&t);
+      y = spec_.partition.kind == PartitionKind::kOutputChannel
+              ? channel_concat(part_ptrs)
+              : row_concat(part_ptrs);
+      DatapathStats sum;
+      for (const DatapathStats& s : part_stats) sum += s;
+      stats[static_cast<size_t>(id)] = sum;
+    } else {
+      DatapathStats before;
+      for (const auto& u : units) before += u->stats();
+      if (fp16) {
+        const PreparedFp16 in_planes = prepare_fp16_planes(x.data);
+        y = execute_fp16_plan(cl.fp16_plan, in_planes, pool, units,
+                              spec_.datapath.n_inputs, cl.precision.accum);
+      } else {
+        // Activation quantization depends on the input values; only the
+        // weight side was frozen at compile time.
+        const QuantParams qa = fit_symmetric(x.data, cl.precision.a_bits);
+        const PreparedInt in_planes =
+            prepare_int_planes(x.data, qa, cl.int_digits);
+        y = execute_int_plan(cl.int_plan, in_planes, pool, units,
+                             spec_.datapath.n_inputs, cl.precision.a_bits,
+                             cl.precision.w_bits, qa, cl.qw);
+      }
+      DatapathStats after;
+      for (const auto& u : units) after += u->stats();
+      stats[static_cast<size_t>(id)] = after - before;
+    }
   } else {
     // Joins are exact elementwise ops: no datapath work, no stats.
     std::vector<const Tensor*> parts;
@@ -461,7 +530,7 @@ BatchRunReport CompiledModel::run_batch(const std::vector<Tensor>& inputs,
 
 NetworkSimResult CompiledModel::estimate() const {
   return simulate_network(shape_net_, composed_tile_for(spec_, spec_.tile),
-                          spec_.sim);
+                          spec_.sim, spec_.partition);
 }
 
 }  // namespace mpipu

@@ -28,19 +28,34 @@ Json to_json_value(const AgreementStats& s) {
 Json to_json_value(const NetworkSimResult& r) {
   Json layers = Json::array();
   for (const LayerSimResult& l : r.layers) {
+    Json tiles = Json::array();
+    for (const TileSimResult& t : l.tiles) {
+      Json jt = Json::object();
+      jt.set("tile", t.tile)
+          .set("steps", t.steps)
+          .set("cycles", t.cycles)
+          .set("utilization", t.utilization);
+      tiles.push(std::move(jt));
+    }
     Json jl = Json::object();
     jl.set("layer", l.layer)
         .set("total_steps", l.total_steps)
         .set("cycles_per_step", l.cycles_per_step)
         .set("total_cycles", l.total_cycles)
         .set("avg_iteration_cycles", l.avg_iteration_cycles)
-        .set("stall_fraction", l.stall_fraction);
+        .set("stall_fraction", l.stall_fraction)
+        .set("imbalance", l.imbalance)
+        .set("critical_tile", l.critical_tile)
+        .set("tiles", std::move(tiles));
     layers.push(std::move(jl));
   }
   Json j = Json::object();
   j.set("network", r.network)
       .set("tile", r.tile)
+      .set("partition", r.partition)
+      .set("num_tiles", r.num_tiles)
       .set("total_cycles", r.total_cycles)
+      .set("mean_tile_utilization", r.mean_tile_utilization)
       .set("layers", std::move(layers));
   return j;
 }

@@ -182,7 +182,8 @@ NetworkSimResult Session::estimate(const GraphModel& model, int input_h,
 }
 
 NetworkSimResult Session::estimate(const Network& net) const {
-  return simulate_network(net, composed_tile_for(spec_, spec_.tile), spec_.sim);
+  return simulate_network(net, composed_tile_for(spec_, spec_.tile), spec_.sim,
+                          spec_.partition);
 }
 
 NetworkSimResult Session::estimate(const Model& model, int input_h,
@@ -193,7 +194,8 @@ NetworkSimResult Session::estimate(const Model& model, int input_h,
 NetworkSimResult Session::estimate(const Model& model, const TileConfig& tile,
                                    int input_h, int input_w) const {
   return simulate_network(model.shape_table(input_h, input_w),
-                          composed_tile_for(spec_, tile), spec_.sim);
+                          composed_tile_for(spec_, tile), spec_.sim,
+                          spec_.partition);
 }
 
 }  // namespace mpipu

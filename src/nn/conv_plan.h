@@ -144,32 +144,45 @@ struct ConvPlan {
 };
 
 /// The stateless conv executor over a const plan and prepared activation
-/// planes: per pixel, one plane-copy gather stages the input patch (shared
-/// across all output channels); per (pixel, co) the inner loop is contiguous
-/// streaming over the staged input and the clip class's packed filter
-/// stream -- zero gathers, zero allocations, zero re-decodes.  `accumulate`
-/// runs one <= n_inputs chunk on the datapath; `readout` extracts the
-/// finished pixel.  All mutable state lives in the caller's scratch (`pool`
-/// + one private `Datapath` per worker slot + per-slot staging planes), so
-/// concurrent calls against the same plan never interfere.
+/// planes, restricted to the output shard [co_begin, co_end) x
+/// [y_begin, y_end) (x is never split -- rows are the spatial shard unit).
+/// Per pixel, one plane-copy gather stages the input patch (shared across
+/// the shard's output channels); per (pixel, co) the inner loop is
+/// contiguous streaming over the staged input and the clip class's packed
+/// filter stream -- zero gathers, zero allocations, zero re-decodes.
+/// `accumulate` runs one <= n_inputs chunk on the datapath; `readout`
+/// extracts the finished pixel.  All mutable state lives in the caller's
+/// scratch (`pool` + one private `Datapath` per worker slot + per-slot
+/// staging planes), so concurrent calls against the same plan never
+/// interfere.  Every output element's accumulate sequence depends only on
+/// its own (co, y, x) -- the datapath accumulator is reset per (pixel, co)
+/// -- so a shard computes exactly the bytes the full-range call would, and
+/// concatenating shards reproduces the unsharded output bit for bit.
+///
+/// The returned tensor holds only the shard: (co_end-co_begin) channels x
+/// (y_end-y_begin) rows x wo cols.
 template <typename Planes, typename AccumulateFn, typename ReadoutFn>
-Tensor run_conv_plan(const ConvPlan<Planes>& plan, const Planes& in_planes,
-                     ThreadPool& pool,
-                     std::span<const std::unique_ptr<Datapath>> units,
-                     int n_inputs, AccumulateFn&& accumulate,
-                     ReadoutFn&& readout) {
+Tensor run_conv_plan_shard(const ConvPlan<Planes>& plan,
+                           const Planes& in_planes, ThreadPool& pool,
+                           std::span<const std::unique_ptr<Datapath>> units,
+                           int n_inputs, int co_begin, int co_end, int y_begin,
+                           int y_end, AccumulateFn&& accumulate,
+                           ReadoutFn&& readout) {
   assert(static_cast<int>(units.size()) >= pool.size());
-  const int ho = plan.ho;
+  assert(0 <= co_begin && co_begin <= co_end && co_end <= plan.cout);
+  assert(0 <= y_begin && y_begin <= y_end && y_end <= plan.ho);
+  const int rows = y_end - y_begin;
   const int wo = plan.wo;
-  Tensor out(plan.cout, ho, wo);
+  Tensor out(co_end - co_begin, rows, wo);
 
   pool.parallel_for(
-      static_cast<int64_t>(ho) * wo, [&](int64_t begin, int64_t end, int slot) {
+      static_cast<int64_t>(rows) * wo,
+      [&](int64_t begin, int64_t end, int slot) {
         Datapath& dp = *units[static_cast<size_t>(slot)];
         Planes staged;  // per-slot staging planes, reused across pixels
         staged.match_layout(in_planes);
         for (int64_t p = begin; p < end; ++p) {
-          const int y = static_cast<int>(p / wo);
+          const int y = y_begin + static_cast<int>(p / wo);
           const int x = static_cast<int>(p % wo);
           const ClipClass<Planes>& cls =
               plan.classes[static_cast<size_t>(plan.class_of(y, x))];
@@ -179,7 +192,7 @@ Tensor run_conv_plan(const ConvPlan<Planes>& plan, const Planes& in_planes,
               (x * plan.stride - plan.pad);
           staged.resize(static_cast<size_t>(len));
           staged.gather(in_planes, cls.rel_input, base);
-          for (int co = 0; co < plan.cout; ++co) {
+          for (int co = co_begin; co < co_end; ++co) {
             const auto stream_base =
                 static_cast<size_t>(co) * static_cast<size_t>(len);
             dp.reset_accumulator();
@@ -190,11 +203,26 @@ Tensor run_conv_plan(const ConvPlan<Planes>& plan, const Planes& in_planes,
                          cls.filters.view(stream_base + static_cast<size_t>(c0),
                                           chunk));
             }
-            out.at(co, y, x) = readout(dp);
+            out.at(co - co_begin, y - y_begin, x) = readout(dp);
           }
         }
       });
   return out;
+}
+
+/// Full-range executor: the shard executor over the whole output.  The
+/// pixel index space and per-(pixel, co) operand streams are identical to
+/// the pre-shard loop, so this stays bit-identical to PR 3 by construction.
+template <typename Planes, typename AccumulateFn, typename ReadoutFn>
+Tensor run_conv_plan(const ConvPlan<Planes>& plan, const Planes& in_planes,
+                     ThreadPool& pool,
+                     std::span<const std::unique_ptr<Datapath>> units,
+                     int n_inputs, AccumulateFn&& accumulate,
+                     ReadoutFn&& readout) {
+  return run_conv_plan_shard(plan, in_planes, pool, units, n_inputs, 0,
+                             plan.cout, 0, plan.ho,
+                             std::forward<AccumulateFn>(accumulate),
+                             std::forward<ReadoutFn>(readout));
 }
 
 // ---------------------------------------------------------------------------
@@ -228,5 +256,23 @@ Tensor execute_int_plan(const ConvPlan<PreparedInt>& plan,
                         std::span<const std::unique_ptr<Datapath>> units,
                         int n_inputs, int a_bits, int w_bits,
                         const QuantParams& qa, const QuantParams& qw);
+
+/// Shard executors: the same loops restricted to [co_begin, co_end) x
+/// [y_begin, y_end).  Used by CompiledModel's host-sharded mode
+/// (RunSpec.partition.shard_host); concatenating the shard outputs is
+/// byte-identical to the full executor above (see run_conv_plan_shard).
+Tensor execute_fp16_plan_shard(const ConvPlan<PreparedFp16>& plan,
+                               const PreparedFp16& in_planes, ThreadPool& pool,
+                               std::span<const std::unique_ptr<Datapath>> units,
+                               int n_inputs, AccumKind accum, int co_begin,
+                               int co_end, int y_begin, int y_end);
+
+Tensor execute_int_plan_shard(const ConvPlan<PreparedInt>& plan,
+                              const PreparedInt& in_planes, ThreadPool& pool,
+                              std::span<const std::unique_ptr<Datapath>> units,
+                              int n_inputs, int a_bits, int w_bits,
+                              const QuantParams& qa, const QuantParams& qw,
+                              int co_begin, int co_end, int y_begin,
+                              int y_end);
 
 }  // namespace mpipu

@@ -19,6 +19,12 @@
 // clustering effective.  The simulator samples a bounded number of
 // broadcast steps per layer and scales to the layer's full op count --
 // the same sampling strategy the paper uses (5% tensor samples).
+//
+// Multi-tile: every layer is partitioned across tile.num_tiles tiles
+// (sim/partition.h -- by output channel or by spatial rows), each tile's
+// broadcast stream is simulated, and the layer reports per-tile cycles /
+// utilization plus the load imbalance; the layer's total_cycles is the
+// critical (slowest) tile's -- tiles run concurrently.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,7 @@
 
 #include "analysis/error_metrics.h"
 #include "common/rng.h"
+#include "sim/partition.h"
 #include "sim/tile.h"
 #include "workload/distributions.h"
 #include "workload/networks.h"
@@ -35,9 +42,14 @@ namespace mpipu {
 
 struct SimOptions {
   /// Broadcast steps sampled per layer (scaled up to the true step count).
+  /// Must be >= 1; simulate_network rejects anything else.
   int sampled_steps = 1500;
-  /// Exponent pool size per distribution.
-  int exponent_pool = 1 << 15;
+  // NOTE: an `exponent_pool` knob (a pool of pre-drawn exponents per
+  // distribution) lived here through PR 9 but was never read anywhere: the
+  // simulator draws jitters directly per sampled step (see
+  // simulate_network).  Removed rather than wired up -- pinned by
+  // SimOptionsTest.ExponentPoolKnobStaysRemoved so it cannot silently
+  // reappear unread.
   uint64_t seed = 0xC0FFEE;
 
   /// The one derivation point for the per-op base step count: the tile's
@@ -49,20 +61,43 @@ struct SimOptions {
   }
 };
 
+/// One tile's share of one layer under the active partition.
+struct TileSimResult {
+  int tile = 0;
+  int64_t steps = 0;        ///< broadcast ops this tile executes (x repeat)
+  double cycles = 0.0;      ///< simulated cycles for this tile's stream
+  /// cycles / critical-tile cycles: 1.0 for the critical tile, 0.0 for an
+  /// idle tile (layers run tile-synchronously, so a faster tile waits).
+  double utilization = 0.0;
+};
+
 struct LayerSimResult {
   std::string layer;
-  int64_t total_steps = 0;      ///< broadcast ops per tile for this layer
-  double cycles_per_step = 0.0; ///< simulated steady-state service rate
-  double total_cycles = 0.0;    ///< cycles_per_step * total_steps (per tile)
+  int64_t total_steps = 0;      ///< critical tile's broadcast ops
+  double cycles_per_step = 0.0; ///< critical tile's steady-state rate
+  double total_cycles = 0.0;    ///< critical tile's cycles (tiles run
+                                ///< concurrently; the slowest gates the layer)
   double avg_iteration_cycles = 0.0;  ///< mean cycles per nibble iteration
   double stall_fraction = 0.0;  ///< fraction of broadcast issue slots stalled
+  /// Per-tile breakdown under the active partition (tile.num_tiles entries).
+  std::vector<TileSimResult> tiles;
+  /// max tile cycles / mean tile cycles - 1 over ALL tiles (idle tiles
+  /// included): 0 when perfectly balanced, e.g. evenly divisible couts
+  /// under kOutputChannel.
+  double imbalance = 0.0;
+  int critical_tile = 0;  ///< index of the slowest tile
 };
 
 struct NetworkSimResult {
   std::string network;
   std::string tile;
+  std::string partition;  ///< partition_kind_name of the active partition
+  int num_tiles = 1;
   std::vector<LayerSimResult> layers;
   double total_cycles = 0.0;
+  /// Cycle-weighted mean of per-tile utilization over layers: 1.0 means
+  /// every tile busy whenever any tile is (perfect balance).
+  double mean_tile_utilization = 0.0;
 
   /// Execution time normalized to a baseline run of the same network.
   double normalized_to(const NetworkSimResult& base) const {
@@ -70,14 +105,20 @@ struct NetworkSimResult {
   }
 };
 
-/// Number of broadcast steps one tile executes for a layer (weight
-/// stationary mapping; utilization losses from cin < C or cout < K are
-/// modeled by ceil()).
+/// Broadcast steps of the CRITICAL tile for a layer under the default
+/// output-channel partition (the largest shard holds ceil(cout/num_tiles)
+/// channels); utilization losses from cin < C or cout < K are modeled by
+/// ceil().  Per-shard counts come from tile_broadcast_steps
+/// (sim/partition.h), which this wraps.
 int64_t layer_broadcast_steps(const ConvLayer& layer, const TileConfig& tile);
 
-/// Simulate one network on one tile configuration.
+/// Simulate one network on one tile configuration, partitioned across the
+/// tile count per `partition`.  Throws std::invalid_argument on an
+/// inconsistent tile (TileConfig::validate -- notably an ipus_per_cluster
+/// that does not divide ipus_per_tile) or opts.sampled_steps < 1.
 NetworkSimResult simulate_network(const Network& net, const TileConfig& tile,
-                                  const SimOptions& opts = {});
+                                  const SimOptions& opts = {},
+                                  const PartitionSpec& partition = {});
 
 /// Collect the distribution of product alignments (exponent differences)
 /// for a network on n-input IPUs -- reproduces Fig. 9.

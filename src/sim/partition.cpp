@@ -1,0 +1,107 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/tile.h"
+
+namespace mpipu {
+namespace {
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+const char* partition_kind_name(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kOutputChannel:
+      return "output_channel";
+    case PartitionKind::kSpatialRows:
+      return "spatial_rows";
+  }
+  return "unknown";
+}
+
+std::vector<ShardRange> partition_output(int cout, int hout, int num_tiles,
+                                         PartitionKind kind) {
+  if (num_tiles < 1) {
+    throw std::invalid_argument(
+        "partition_output: num_tiles must be >= 1, got " +
+        std::to_string(num_tiles));
+  }
+  if (cout < 0 || hout < 0) {
+    throw std::invalid_argument(
+        "partition_output: negative output extent (" + std::to_string(cout) +
+        " channels x " + std::to_string(hout) + " rows)");
+  }
+  std::vector<ShardRange> shards(static_cast<size_t>(num_tiles));
+  // Balanced contiguous split of the partitioned extent E: tile i gets
+  // [i*E/T, (i+1)*E/T).  Sizes differ by at most one; the largest shard is
+  // ceil(E/T), matching the legacy critical-tile arithmetic.
+  const int64_t extent = kind == PartitionKind::kOutputChannel ? cout : hout;
+  for (int i = 0; i < num_tiles; ++i) {
+    ShardRange& s = shards[static_cast<size_t>(i)];
+    s.tile = i;
+    const int begin = static_cast<int>(extent * i / num_tiles);
+    const int end = static_cast<int>(extent * (i + 1) / num_tiles);
+    if (kind == PartitionKind::kOutputChannel) {
+      s.co_begin = begin;
+      s.co_end = end;
+      s.row_begin = 0;
+      s.row_end = hout;
+    } else {
+      s.co_begin = 0;
+      s.co_end = cout;
+      s.row_begin = begin;
+      s.row_end = end;
+    }
+  }
+  return shards;
+}
+
+LayerPartition partition_layer(const ConvLayer& layer, int num_tiles,
+                               PartitionKind kind) {
+  LayerPartition part;
+  part.kind = kind;
+  part.num_tiles = num_tiles;
+  const std::vector<ShardRange> ranges =
+      partition_output(layer.cout, layer.hout, num_tiles, kind);
+  part.shards.reserve(ranges.size());
+  for (const ShardRange& r : ranges) {
+    LayerShard shard;
+    shard.range = r;
+    shard.layer = layer;
+    shard.layer.cout = r.cout();
+    shard.layer.hout = r.rows();
+    if (kind == PartitionKind::kSpatialRows && !r.empty()) {
+      // Halo: input rows this shard reads that a neighbour also reads.  An
+      // interior boundary shares max(0, kh - stride) input rows; a shard
+      // with work on both sides pays it twice.  (For kOutputChannel the
+      // full input is broadcast to every tile, so there is no extra
+      // sharing to report.)
+      const int overlap = std::max(0, layer.kh - layer.stride);
+      const bool has_prev = r.row_begin > 0;
+      const bool has_next = r.row_end < layer.hout;
+      shard.halo_rows =
+          (has_prev ? overlap : 0) + (has_next ? overlap : 0);
+    }
+    part.shards.push_back(std::move(shard));
+  }
+  return part;
+}
+
+int64_t tile_broadcast_steps(const ConvLayer& shard_layer,
+                             const TileConfig& tile) {
+  if (shard_layer.cout <= 0 || shard_layer.hout <= 0 ||
+      shard_layer.wout <= 0) {
+    return 0;  // idle tile: no channels / rows assigned
+  }
+  const int64_t cin_chunks = ceil_div(shard_layer.cin, tile.c_unroll);
+  const int64_t k_groups = ceil_div(shard_layer.cout, tile.k_unroll);
+  const int64_t spatial_groups = ceil_div(shard_layer.hout, tile.h_unroll) *
+                                 ceil_div(shard_layer.wout, tile.w_unroll);
+  return static_cast<int64_t>(shard_layer.kh) * shard_layer.kw * cin_chunks *
+         k_groups * spatial_groups;
+}
+
+}  // namespace mpipu

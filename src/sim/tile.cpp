@@ -1,5 +1,7 @@
 #include "sim/tile.h"
 
+#include <stdexcept>
+
 namespace mpipu {
 namespace {
 
@@ -22,6 +24,36 @@ TileConfig make_tile(std::string name, int c, int k, int w, int precision,
 }
 
 }  // namespace
+
+void TileConfig::validate() const {
+  if (c_unroll < 1 || k_unroll < 1 || h_unroll < 1 || w_unroll < 1) {
+    throw std::invalid_argument(
+        "TileConfig '" + name + "': unrolls must be positive (c=" +
+        std::to_string(c_unroll) + ", k=" + std::to_string(k_unroll) +
+        ", h=" + std::to_string(h_unroll) + ", w=" +
+        std::to_string(w_unroll) + ")");
+  }
+  if (num_tiles < 1) {
+    throw std::invalid_argument("TileConfig '" + name +
+                                "': num_tiles must be >= 1, got " +
+                                std::to_string(num_tiles));
+  }
+  if (input_buffer_depth < 1) {
+    throw std::invalid_argument("TileConfig '" + name +
+                                "': input_buffer_depth must be >= 1, got " +
+                                std::to_string(input_buffer_depth));
+  }
+  if (ipus_per_cluster < 1 || ipus_per_tile() % ipus_per_cluster != 0) {
+    // The historical failure mode: under NDEBUG the num_clusters() assert
+    // vanished and integer division silently dropped the remainder IPUs --
+    // the sim modeled a smaller tile than configured.
+    throw std::invalid_argument(
+        "TileConfig '" + name + "': ipus_per_cluster (" +
+        std::to_string(ipus_per_cluster) + ") must divide ipus_per_tile (" +
+        std::to_string(ipus_per_tile()) +
+        ") -- clusters partition the tile's IPUs exactly");
+  }
+}
 
 TileConfig small_tile(int adder_tree_width, int software_precision, int ipus_per_cluster) {
   return make_tile("small", 8, 8, adder_tree_width, software_precision,

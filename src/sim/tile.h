@@ -33,12 +33,25 @@ struct TileConfig {
   DatapathConfig datapath{};
 
   int ipus_per_tile() const { return k_unroll * h_unroll * w_unroll; }
+  /// NOTE: callers must ensure ipus_per_cluster divides ipus_per_tile()
+  /// (validate() is the Release-mode gate -- this assert vanishes under
+  /// NDEBUG and integer division would otherwise silently simulate fewer
+  /// IPUs than configured).
   int num_clusters() const {
     assert(ipus_per_tile() % ipus_per_cluster == 0);
     return ipus_per_tile() / ipus_per_cluster;
   }
   int multipliers_per_tile() const { return c_unroll * ipus_per_tile(); }
   int total_multipliers() const { return multipliers_per_tile() * num_tiles; }
+
+  /// Reject an inconsistent tile in EVERY build mode (the asserts above are
+  /// debug-only): throws std::invalid_argument on non-positive unrolls /
+  /// tile count / buffer depth, and -- the historical silent-truncation bug
+  /// -- on an ipus_per_cluster that does not divide ipus_per_tile().
+  /// simulate_network calls this on entry, so Session::estimate and
+  /// CompiledModel::estimate surface the error like the existing c_unroll
+  /// mismatch rejection.
+  void validate() const;
 };
 
 /// The paper's small tile: (8, 8, 2, 2), four tiles.

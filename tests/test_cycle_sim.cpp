@@ -2,6 +2,8 @@
 // behaviour, clustering benefits, precision/cycle monotonicity.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "sim/cycle_sim.h"
 
 namespace mpipu {
@@ -183,6 +185,23 @@ TEST(CycleSim, StallFractionBoundedAndBuffersHelp) {
   const auto r_shallow = simulate_network(net, shallow, opts);
   const auto r_deep = simulate_network(net, deep, opts);
   EXPECT_LE(r_deep.total_cycles, r_shallow.total_cycles * 1.001);
+}
+
+// Pins the removal of the dead `exponent_pool` knob (PR 10): it was carried
+// by SimOptions through PR 9 but never read anywhere, so a caller setting it
+// got silently ignored.  If someone re-adds the member, this fails until the
+// simulator actually consumes it (at which point delete this test).
+template <typename T, typename = void>
+struct HasExponentPool : std::false_type {};
+template <typename T>
+struct HasExponentPool<T, std::void_t<decltype(std::declval<T>().exponent_pool)>>
+    : std::true_type {};
+
+TEST(SimOptionsTest, ExponentPoolKnobStaysRemoved) {
+  static_assert(!HasExponentPool<SimOptions>::value,
+                "SimOptions.exponent_pool was removed as dead config in PR 10; "
+                "re-adding it requires wiring it into simulate_network");
+  SUCCEED();
 }
 
 }  // namespace

@@ -295,6 +295,7 @@ BENCH_REQUIRED_KEYS = {
     "BENCH_conv.json": ["bench", "workload", "schemes"],
     "BENCH_serving.json": ["bench", "sections", "bit_identical"],
     "BENCH_server.json": ["bench", "saturating", "bit_identical", "soak"],
+    "BENCH_tiles.json": ["bench", "network", "configs"],
 }
 
 BENCH_INVARIANT_FLAGS = ("bit_identical", "conserved")

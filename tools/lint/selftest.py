@@ -46,6 +46,9 @@ def make_tree(root):
     (root / "BENCH_server.json").write_text(json.dumps(
         {"bench": "server", "saturating": {}, "bit_identical": True,
          "soak": {}}))
+    (root / "BENCH_tiles.json").write_text(json.dumps(
+        {"bench": "design_space_explorer_tiles", "network": "resnet18",
+         "configs": []}))
 
 
 def expect(name, violations, rule, path_fragment):
